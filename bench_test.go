@@ -1,0 +1,235 @@
+// Package repro's repository-level benchmarks. One benchmark per
+// registered paper experiment (every Table 1 cell, figure, and
+// decision-time theorem — see internal/exp), plus micro-benchmarks for
+// the substrate operations the experiments lean on.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/algorithms"
+	"repro/internal/approx"
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/valency"
+)
+
+// BenchmarkExperiment regenerates every paper table and figure; the
+// sub-benchmark names are the experiment IDs from internal/exp.
+func BenchmarkExperiment(b *testing.B) {
+	for _, e := range exp.All() {
+		e := e
+		b.Run(strings.ReplaceAll(e.ID, "/", "_"), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tbl := e.Run()
+				if len(tbl.Rows) == 0 {
+					b.Fatal("experiment produced no rows")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGraphProduct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{8, 32, 64} {
+		g := graph.Random(rng, n, 0.3)
+		h := graph.Random(rng, n, 0.3)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = graph.Product(g, h)
+			}
+		})
+	}
+}
+
+func BenchmarkGraphRoots(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{8, 32, 64} {
+		g := graph.Random(rng, n, 0.1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.Roots()
+			}
+		})
+	}
+}
+
+func BenchmarkGraphNonSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 32, 64} {
+		g := graph.RandomNonSplit(rng, n, 0.3)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.IsNonSplit()
+			}
+		})
+	}
+}
+
+func BenchmarkConfigStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{4, 16, 64} {
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()
+		}
+		g := graph.RandomNonSplit(rng, n, 0.3)
+		for _, alg := range []core.Algorithm{algorithms.Midpoint{}, algorithms.AmortizedMidpoint{}} {
+			c := core.NewConfig(alg, inputs)
+			b.Run(alg.Name()+"/"+sizeName(n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = c.Step(g)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConfigStepInPlace measures the zero-clone fast path used by
+// Run; compare with BenchmarkConfigStep to see the cloning cost.
+func BenchmarkConfigStepInPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{4, 16, 64} {
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()
+		}
+		g := graph.RandomNonSplit(rng, n, 0.3)
+		c := core.NewConfig(algorithms.Midpoint{}, inputs)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.StepInPlace(g)
+			}
+		})
+	}
+}
+
+func BenchmarkValencyInner(b *testing.B) {
+	m := model.TwoAgent()
+	c := core.NewConfig(algorithms.TwoThirds{}, []float64{0, 1})
+	for _, depth := range []int{2, 4, 6} {
+		est := valency.NewEstimator(m, depth, true)
+		b.Run("depth-"+strconv.Itoa(depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = est.Inner(c)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyAdversaryRound(b *testing.B) {
+	m := model.DeafModel(graph.Complete(3))
+	est := valency.NewEstimator(m, 3, true)
+	adv := &adversary.Greedy{Est: est}
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1, 0.5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = adv.Next(1, c)
+	}
+}
+
+func BenchmarkAlphaDiameter(b *testing.B) {
+	na, err := model.FullAsyncRound(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		m    *model.Model
+	}{
+		{"twoagent-3", model.TwoAgent()},
+		{"deafK5-5", model.DeafModel(graph.Complete(5))},
+		{"NA41-256", na},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = tc.m.AlphaDiameter()
+			}
+		})
+	}
+}
+
+func BenchmarkBetaClasses(b *testing.B) {
+	na, err := model.FullAsyncRound(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("NA41-256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = na.BetaClasses()
+		}
+	})
+}
+
+func BenchmarkAsyncRoundBased(b *testing.B) {
+	for _, tc := range []struct{ n, f int }{{5, 2}, {9, 3}} {
+		b.Run("n"+strconv.Itoa(tc.n)+"f"+strconv.Itoa(tc.f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				procs := make([]async.Process, tc.n)
+				for j := 0; j < tc.n; j++ {
+					procs[j] = async.NewRoundBased(j, tc.n, tc.f, float64(j), async.MidpointUpdate, 20)
+				}
+				sim, err := async.NewSimulator(procs, async.UniformDelays(int64(i), 0.1), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sim.RunToQuiescence(1_000_000) {
+					b.Fatal("no quiescence")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAsyncMinRelay(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				procs := make([]async.Process, n)
+				for j := 0; j < n; j++ {
+					procs[j] = async.NewMinRelay(j, float64(j))
+				}
+				sim, err := async.NewSimulator(procs, async.UniformDelays(int64(i), 0.1), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sim.RunToQuiescence(5_000_000) {
+					b.Fatal("no quiescence")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecider(b *testing.B) {
+	d := approx.Decider{Alg: algorithms.Midpoint{}, Contraction: 0.5}
+	worst := core.Fixed{G: graph.Deaf(graph.Complete(5), 0)}
+	inputs := []float64{0, 1, 0.5, 0.5, 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := d.Run(inputs, worst, 1, 1e-6)
+		if !res.EpsAgreement {
+			b.Fatal("decider failed")
+		}
+	}
+}
+
+func sizeName(n int) string { return "n" + strconv.Itoa(n) }

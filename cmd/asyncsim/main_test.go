@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsyncsimWorstCaseMinRelay(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-proc", "minrelay", "-n", "6", "-f", "3", "-worstcase"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "Theorem 7: all correct agents equal by time f+1 = 4 -> true") {
+		t.Errorf("Theorem 7 verdict missing:\n%s", got)
+	}
+	if !strings.Contains(got, "-1") {
+		t.Errorf("minimum value did not propagate:\n%s", got)
+	}
+}
+
+func TestAsyncsimRoundBased(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-proc", "midpoint", "-n", "5", "-f", "2", "-rounds", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "deliveries") {
+		t.Errorf("missing table header:\n%s", sb.String())
+	}
+	var sb2 strings.Builder
+	if err := run([]string{"-proc", "selectedmean", "-n", "6", "-f", "2", "-rounds", "6"}, &sb2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncsimErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-proc", "bogus"}, &sb); err == nil {
+		t.Error("bad process kind accepted")
+	}
+	if err := run([]string{"-n", "1"}, &sb); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run([]string{"-n", "4", "-f", "4"}, &sb); err == nil {
+		t.Error("f=n accepted")
+	}
+	if err := run([]string{"-proc", "selectedmean", "-n", "4", "-f", "0"}, &sb); err == nil {
+		t.Error("selectedmean with f=0 accepted")
+	}
+}

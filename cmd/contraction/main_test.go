@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContractionGreedyTwoThirds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "twoagent", "-alg", "twothirds", "-rounds", "4", "-depth", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, frag := range []string{
+		"proven contraction lower bound: 0.333333 via Theorem 1",
+		"fitted per-round value contraction: 0.333333",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestContractionRandomSourceAndInputs(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "deaf:3", "-alg", "mean", "-adversary", "random",
+		"-inputs", "0,1,0.5", "-rounds", "3", "-seed", "7"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "round") {
+		t.Errorf("missing table header:\n%s", sb.String())
+	}
+}
+
+func TestContractionErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "bogus"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := run([]string{"-alg", "bogus"}, &sb); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-adversary", "bogus"}, &sb); err == nil {
+		t.Error("bad adversary accepted")
+	}
+	if err := run([]string{"-model", "deaf:3", "-inputs", "0,1"}, &sb); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+	if err := run([]string{"-model", "twoagent", "-alg", "twothirds", "-inputs", "0,x"}, &sb); err == nil {
+		t.Error("malformed inputs accepted")
+	}
+}

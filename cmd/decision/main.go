@@ -1,0 +1,92 @@
+// Command decision sweeps the error tolerance ε and reports, for each of
+// the paper's approximate-consensus settings, the decision time of the
+// optimal decider next to the matching lower bound (Theorems 8-11).
+//
+// Usage:
+//
+//	decision                  run the built-in sweeps
+//	decision -eps 1e-2,1e-4   use specific tolerances
+//	decision -n 6             system size for the rooted-model sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/algorithms"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "decision:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("decision", flag.ContinueOnError)
+	fs.SetOutput(out)
+	epsStr := fs.String("eps", "1e-1,1e-2,1e-3,1e-4,1e-5,1e-6", "comma-separated tolerances")
+	n := fs.Int("n", 6, "system size for the non-split and rooted sweeps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	epss, err := spec.ParseFloats(*epsStr)
+	if err != nil {
+		return err
+	}
+	for _, eps := range epss {
+		if eps <= 0 || eps > 1 {
+			return fmt.Errorf("tolerance %v outside (0,1]", eps)
+		}
+	}
+	if *n < 4 {
+		return fmt.Errorf("need n >= 4 for the rooted sweep, got %d", *n)
+	}
+
+	fmt.Fprintln(out, "n = 2, model {H0,H1,H2}, two-thirds decider (Theorem 8: >= log3(Δ/ε))")
+	d2 := approx.Decider{Alg: algorithms.TwoThirds{}, Contraction: 1.0 / 3.0}
+	printSweep(out, d2.Sweep([]float64{0, 1},
+		func() core.PatternSource { return core.Fixed{G: graph.H(1)} },
+		1, epss,
+		func(eps float64) float64 { return approx.Theorem8LowerBound(1, eps) }))
+
+	fmt.Fprintf(out, "\nn = %d, model deaf(K_n), midpoint decider (Theorem 9: >= log2(Δ/ε))\n", *n)
+	inputs := make([]float64, *n)
+	inputs[1] = 1
+	for i := 2; i < *n; i++ {
+		inputs[i] = 0.5
+	}
+	dm := approx.Decider{Alg: algorithms.Midpoint{}, Contraction: 0.5}
+	printSweep(out, dm.Sweep(inputs,
+		func() core.PatternSource { return core.Fixed{G: graph.Deaf(graph.Complete(*n), 0)} },
+		1, epss,
+		func(eps float64) float64 { return approx.Theorem9LowerBound(1, eps) }))
+
+	fmt.Fprintf(out, "\nn = %d, Psi model, amortized midpoint decider (Theorem 10: >= (n-2)log2(Δ/ε))\n", *n)
+	da := approx.Decider{
+		Alg:         algorithms.AmortizedMidpoint{},
+		Contraction: math.Pow(0.5, 1/float64(*n-1)),
+	}
+	printSweep(out, da.Sweep(inputs,
+		func() core.PatternSource { return core.Cycle{Graphs: graph.PsiFamily(*n)} },
+		1, epss,
+		func(eps float64) float64 { return approx.Theorem10LowerBound(*n, 1, eps) }))
+	return nil
+}
+
+func printSweep(out io.Writer, points []approx.SweepPoint) {
+	fmt.Fprintf(out, "%10s  %14s  %14s  %12s  %4s\n", "ε", "lower bound", "decider rounds", "spread", "ok")
+	for _, p := range points {
+		fmt.Fprintf(out, "%10.2g  %14.3f  %14d  %12.4g  %4v\n",
+			p.Eps, p.LowerBound, p.Rounds, p.Spread, p.OK)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecisionSweeps(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-eps", "1e-2,1e-4", "-n", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, frag := range []string{
+		"Theorem 8",
+		"Theorem 9",
+		"Theorem 10",
+		"true",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "false") {
+		t.Errorf("some decider run failed:\n%s", got)
+	}
+}
+
+func TestDecisionErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-eps", "x"}, &sb); err == nil {
+		t.Error("bad eps list accepted")
+	}
+	if err := run([]string{"-eps", "2"}, &sb); err == nil {
+		t.Error("eps > 1 accepted")
+	}
+	if err := run([]string{"-eps", "-0.5"}, &sb); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if err := run([]string{"-n", "3"}, &sb); err == nil {
+		t.Error("n < 4 accepted")
+	}
+}

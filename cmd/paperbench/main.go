@@ -1,0 +1,75 @@
+// Command paperbench regenerates the paper's tables and figures: it runs
+// the registered experiments (one per Table 1 cell, per figure, and per
+// decision-time theorem) and prints the paper-claimed bound next to the
+// measured value.
+//
+// Usage:
+//
+//	paperbench                  run every experiment
+//	paperbench -list            list experiment IDs
+//	paperbench -run ID          run experiments whose ID contains the string
+//	paperbench -format csv      emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	runPat := fs.String("run", "", "only run experiments whose ID contains this substring")
+	format := fs.String("format", "table", "output format: table | csv")
+	quiet := fs.Bool("q", false, "suppress per-experiment timing lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(out, "%-24s %s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+		return nil
+	}
+
+	matched := 0
+	for _, e := range exp.All() {
+		if *runPat != "" && !strings.Contains(e.ID, *runPat) {
+			continue
+		}
+		matched++
+		start := time.Now()
+		table := e.Run()
+		if *format == "csv" {
+			fmt.Fprintf(out, "## %s\n%s\n", e.ID, table.CSV())
+			continue
+		}
+		fmt.Fprint(out, table.Render())
+		if !*quiet {
+			fmt.Fprintf(out, "(%s)\n", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Fprintln(out)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no experiment matches %q; try -list", *runPat)
+	}
+	return nil
+}

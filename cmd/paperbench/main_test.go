@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1/n2", "F2/psi", "THM8/decision-n2", "X/census"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "X/census", "-q"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "{H0,H1,H2}") {
+		t.Errorf("census output missing key row:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "T1/n2") {
+		t.Error("-run filter leaked other experiments")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "X/census", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "## X/census") || !strings.Contains(sb.String(), "model,") {
+		t.Errorf("CSV output malformed:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "nope-nothing"}, &sb); err == nil {
+		t.Error("unmatched -run should error")
+	}
+	if err := run([]string{"-format", "xml"}, &sb); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-bogusflag"}, &sb); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

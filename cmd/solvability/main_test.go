@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolvabilityTwoAgent(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "twoagent"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, frag := range []string{
+		"n=2 agents, 3 graphs",
+		"alpha-diameter D:                        2",
+		"exact consensus solvable (Theorem 19):   false",
+		"0.333333",
+		"Theorem 1",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestSolvabilityShowGraphs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "deaf:3", "-graphs"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "[2]") {
+		t.Errorf("-graphs did not list members:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "0.5") || !strings.Contains(sb.String(), "Theorem 2") {
+		t.Errorf("deaf model bound missing:\n%s", sb.String())
+	}
+}
+
+func TestSolvabilityVacuous(t *testing.T) {
+	var sb strings.Builder
+	// A single identity graph: not rooted -> vacuous bound.
+	if err := run([]string{"-model", "edges:3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n/a") {
+		t.Errorf("vacuous bound not reported:\n%s", sb.String())
+	}
+}
+
+func TestSolvabilityBadSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "wat"}, &sb); err == nil {
+		t.Error("bad model spec accepted")
+	}
+}

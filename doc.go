@@ -1,0 +1,30 @@
+// Package repro is a Go reproduction of Függer, Nowak, Schwarz, "Tight
+// Bounds for Asymptotic and Approximate Consensus" (PODC 2018,
+// arXiv:1705.02898): the averaging algorithms that achieve the paper's
+// upper bounds, the valency machinery and adversaries behind its lower
+// bounds, the Coulouma-Godard-Peters solvability theory it builds on, and
+// the asynchronous crash-fault system of its classical corollaries.
+//
+// The root package carries only documentation and the repository-level
+// benchmarks; the implementation lives under internal/ (see README.md for
+// the architecture and DESIGN.md for the paper-to-package map):
+//
+//	internal/graph       communication graphs and the paper's graph families
+//	internal/model       network models, alpha/beta machinery, solvability
+//	internal/core        the round-based dynamic-network execution model
+//	internal/algorithms  two-thirds, midpoint, amortized midpoint, quantized
+//	                     midpoint, mean, flow-sum, flood-root
+//	internal/valency     certified inner/outer bounds on valencies Y*(C)
+//	internal/adversary   the lower-bound pattern constructions
+//	internal/approx      approximate consensus: deciders and time bounds
+//	internal/async       asynchronous message passing with unclean crashes
+//	internal/pattern     Section 6.1 properties over communication patterns
+//	internal/vector      coordinate-wise lift to d-dimensional values
+//	internal/exp         the experiment registry regenerating every table
+//	                     and figure of the paper
+//
+// Entry points: cmd/paperbench regenerates the paper's results,
+// cmd/solvability analyzes arbitrary models, cmd/contraction races
+// algorithms against adversaries, cmd/asyncsim drives the crash-fault
+// simulator, and cmd/decision sweeps approximate-consensus tolerances.
+package repro

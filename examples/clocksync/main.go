@@ -1,0 +1,92 @@
+// Clock synchronization: asymptotic consensus on clock corrections, one
+// of the paper's motivating applications (Li & Rus 2006 citation in the
+// introduction).
+//
+// Each sensor node owns a hardware clock with a fixed drift rate. Once
+// per second the nodes exchange current clock readings over a lossy radio
+// (a dynamic non-split communication graph: every two nodes always share
+// some common neighbor they both hear, e.g. a base station, but links
+// otherwise come and go) and apply the midpoint algorithm to a software
+// correction offset. The logical clocks — hardware plus correction —
+// converge toward a common time base even though the radio topology never
+// stabilizes; the residual spread is bounded by the drift accumulated in
+// a single round, a direct consequence of midpoint's 1/2 contraction.
+//
+// Run with: go run ./examples/clocksync
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+const n = 6
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Hardware clocks: offset (seconds) and drift (seconds per second).
+	offsets := make([]float64, n)
+	drifts := make([]float64, n)
+	for i := range offsets {
+		offsets[i] = rng.Float64()*2 - 1         // up to ±1 s initial skew
+		drifts[i] = (rng.Float64()*2 - 1) * 1e-3 // up to ±1 ms/s drift
+	}
+
+	hw := func(i int, t float64) float64 { return t + offsets[i] + drifts[i]*t }
+
+	// Software corrections, adjusted by one midpoint round per second.
+	corrections := make([]float64, n)
+
+	logical := func(t float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = hw(i, t) + corrections[i]
+		}
+		return out
+	}
+
+	fmt.Println("sec   logical-clock spread (s)   communication graph")
+	for sec := 0; sec <= 20; sec++ {
+		t := float64(sec)
+		readings := logical(t)
+		fmt.Printf("%3d   %24.6f", sec, core.Diameter(readings))
+
+		// Radio round: a random non-split graph (all nodes hear some
+		// common witness, links otherwise random).
+		g := graph.RandomNonSplit(rng, n, 0.3)
+		fmt.Printf("   %v\n", g)
+
+		// One midpoint round on the logical readings: node i adopts the
+		// midpoint of the logical clocks it heard, i.e. adjusts its
+		// correction by (midpoint - own logical clock).
+		for i := 0; i < n; i++ {
+			var lo, hi float64
+			first := true
+			for _, j := range g.In(i) {
+				r := readings[j]
+				if first {
+					lo, hi = r, r
+					first = false
+					continue
+				}
+				if r < lo {
+					lo = r
+				}
+				if r > hi {
+					hi = r
+				}
+			}
+			corrections[i] += (lo+hi)/2 - readings[i]
+		}
+	}
+
+	final := logical(21)
+	fmt.Printf("\nfinal spread: %.6f s — bounded by the drift accumulated per round,\n",
+		core.Diameter(final))
+	fmt.Println("because midpoint halves the spread each round while drift adds at most")
+	fmt.Println("2 ms/round: steady state ≈ 2·drift, independent of the initial skew.")
+}

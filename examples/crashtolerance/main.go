@@ -1,0 +1,83 @@
+// Crash tolerance: sensor fusion in an asynchronous system where nodes
+// may crash mid-broadcast (Section 8 of the paper).
+//
+// Nine sensors measure the same physical quantity with noise and must
+// agree on a fused estimate despite up to f = 3 crashes and arbitrary
+// message delays. The example runs two strategies side by side:
+//
+//   - the round-based Fekete-style selected-mean algorithm, which is
+//     limited to contraction 1/(⌈n/f⌉+1) per round by Theorem 6, and
+//   - MinRelay, a non-round-based algorithm that gets all survivors to an
+//     identical estimate by time f+1 (Theorem 7) — the "price of rounds"
+//     gap in action.
+//
+// Run with: go run ./examples/crashtolerance
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+)
+
+func main() {
+	const (
+		n = 9
+		f = 3
+	)
+	rng := rand.New(rand.NewSource(2026))
+	truth := 21.5
+	readings := make([]float64, n)
+	for i := range readings {
+		readings[i] = truth + rng.NormFloat64()*0.8
+	}
+	fmt.Printf("true value %.2f, noisy readings: %.2f\n\n", truth, readings)
+
+	// The crash budget is f = 3; two crashes actually occur (fewer crashes
+	// than the budget keeps the survivor count above the quorum size, so
+	// different agents keep hearing different quorums — the interesting
+	// regime for round-based algorithms).
+	crashes := []async.Crash{
+		{Agent: 1, AfterBroadcasts: 1, Recipients: graph.NodesToMask([]int{2, 3})},
+		{Agent: 7, AfterBroadcasts: 0, Recipients: graph.NodesToMask([]int{0, 8})},
+	}
+
+	// Strategy 1: round-based selected mean (Fekete-style baseline).
+	rb := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		rb[i] = async.NewRoundBased(i, n, f, readings[i], async.SelectedMeanUpdate(f), 12)
+	}
+	simRB, err := async.NewSimulator(rb, async.UniformDelays(5, 0.7), crashes)
+	if err != nil {
+		panic(err)
+	}
+
+	// Strategy 2: MinRelay (non-round-based, contraction 0).
+	mr := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		mr[i] = async.NewMinRelay(i, readings[i])
+	}
+	simMR, err := async.NewSimulator(mr, async.UniformDelays(5, 0.7), crashes)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("time   spread(round-based)   spread(MinRelay)")
+	for t := 0.5; t <= 8; t += 0.5 {
+		simRB.RunUntil(t)
+		simMR.RunUntil(t)
+		fmt.Printf("%4.1f   %19.3g   %16.3g\n", t, simRB.CorrectDiameter(), simMR.CorrectDiameter())
+	}
+
+	fmt.Printf("\nMinRelay fused value: %.4f — exact agreement by time f+1 = %d,\n",
+		simMR.CorrectOutputs()[0], f+1)
+	fmt.Println("guaranteed under EVERY delay and crash schedule (Theorem 7).")
+	fmt.Println("The round-based algorithm also converged here, but only because the")
+	fmt.Println("random delays were benign: against worst-case scheduling its per-round")
+	fmt.Println("contraction is capped at 1/(⌈n/f⌉+1) (Theorem 6) — run")
+	fmt.Println("  go run ./cmd/asyncsim -proc minrelay -worstcase")
+	fmt.Println("  go run ./cmd/paperbench -run T1/asyncround")
+	fmt.Println("to see the adversarial gap.")
+}

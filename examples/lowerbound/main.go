@@ -1,0 +1,56 @@
+// Lower bound in action: the valency/adversary API — the library's most
+// distinctive feature — used directly.
+//
+// The paper's central result is that NO algorithm can contract faster
+// than 1/3 per round when two agents communicate through the rooted
+// graphs H0, H1, H2. This example makes that concrete: it races two
+// algorithms (the optimal two-thirds rule and the midpoint rule) against
+// the greedy valency-splitting adversary from the Theorem 1 proof and
+// prints the certified floor δ(C_t) — the diameter of the set of limits
+// still reachable — next to the proven 3^-t decay.
+//
+// Run with: go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/valency"
+)
+
+func main() {
+	m := model.TwoAgent()
+	bound := m.ContractionLowerBound()
+	fmt.Printf("model: %v\n", m)
+	fmt.Printf("proven: every algorithm's contraction rate >= %.4f (%s)\n\n", bound.Rate, bound.Theorem)
+
+	for _, alg := range []core.Algorithm{algorithms.TwoThirds{}, algorithms.Midpoint{}} {
+		fmt.Printf("--- %s vs the greedy valency-splitting adversary ---\n", alg.Name())
+		est := valency.NewEstimator(m, 5, alg.Convex())
+		var decisions []adversary.Decision
+		adv := &adversary.Greedy{Est: est, Trace: &decisions}
+
+		c := core.NewConfig(alg, []float64{0, 1})
+		fmt.Printf("%3s  %-6s  %-12s  %-12s\n", "t", "graph", "δ(C_t) floor", "3^-t")
+		fmt.Printf("%3d  %-6s  %-12.6f  %-12.6f\n", 0, "-", est.DeltaLower(c), 1.0)
+		for round := 1; round <= 6; round++ {
+			g := adv.Next(round, c)
+			c = c.Step(g)
+			fmt.Printf("%3d  H%-5d  %-12.6f  %-12.6f\n",
+				round, m.Index(g), est.DeltaLower(c), math.Pow(1.0/3.0, float64(round)))
+		}
+		last := decisions[len(decisions)-1]
+		fmt.Printf("adversary's last branching: successor valencies %v | %v | %v\n\n",
+			last.Inner[0], last.Inner[1], last.Inner[2])
+	}
+
+	fmt.Println("two-thirds decays at exactly the 1/3 floor — it is optimal (Algorithm 1).")
+	fmt.Println("midpoint is held at 1/2 per round — strictly suboptimal at n = 2, even")
+	fmt.Println("though the same rule is optimal for n >= 3 (Theorem 2). The floor itself")
+	fmt.Println("is certified: every interval endpoint above is a genuinely reachable limit.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: the smallest end-to-end tour of the library.
+//
+// It builds a dynamic network model, runs the midpoint algorithm under a
+// random rooted communication pattern, and then asks the analysis
+// machinery what contraction rate any algorithm could possibly achieve in
+// that model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func main() {
+	// 1. A dynamic network: every round, the adversary picks one of the
+	// deaf(K4) graphs — K4 with one agent's ears removed.
+	m := model.DeafModel(graph.Complete(4))
+	fmt.Println("network model:", m)
+
+	// 2. Run the midpoint algorithm (Algorithm 2 of the paper) from
+	// scattered initial values under a random pattern from the model.
+	inputs := []float64{0, 1, 0.2, 0.8}
+	src := core.RandomFromModel{Model: m, Rng: rand.New(rand.NewSource(42))}
+	trace := core.Run(algorithms.Midpoint{}, inputs, src, 12)
+
+	fmt.Println("\nround  values                                    diameter")
+	for t, ys := range trace.Outputs {
+		fmt.Printf("%5d  %-40.4g  %.6f\n", t, ys, trace.DiameterAt(t))
+	}
+
+	// 3. What does the theory say about this model?
+	bound := m.ContractionLowerBound()
+	fmt.Printf("\nexact consensus solvable: %v\n", m.ExactConsensusSolvable())
+	fmt.Printf("proven contraction lower bound: %.4g (%s)\n", bound.Rate, bound.Theorem)
+	fmt.Printf("midpoint's measured per-round contraction: %.4g\n", trace.GeometricRate())
+	fmt.Println("\nmidpoint contracts by exactly the proven optimum 1/2 in the worst")
+	fmt.Println("case — that is the headline tightness result of the paper.")
+}

@@ -1,0 +1,91 @@
+package algorithms_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestQuantizedMidpointStaysOnGrid(t *testing.T) {
+	q := 0.125
+	alg := algorithms.QuantizedMidpoint{Q: q}
+	rng := rand.New(rand.NewSource(61))
+	inputs := []float64{0, 1, 0.625, 0.25}
+	c := core.NewConfig(alg, inputs)
+	for round := 0; round < 10; round++ {
+		c = c.Step(graph.RandomNonSplit(rng, 4, 0.4))
+		for i := 0; i < 4; i++ {
+			v := c.Output(i)
+			if rem := math.Mod(v, q); math.Abs(rem) > 1e-12 && math.Abs(rem-q) > 1e-12 {
+				t.Fatalf("round %d: agent %d off grid: %v", round, i, v)
+			}
+		}
+	}
+}
+
+func TestQuantizedMidpointReachesExactAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, n := range []int{3, 5, 8} {
+		q := 1.0 / 64
+		alg := algorithms.QuantizedMidpoint{Q: q}
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = math.Floor(rng.Float64()/q) * q
+		}
+		src := core.Func(func(int, *core.Config) graph.Graph {
+			return graph.RandomNonSplit(rng, n, 0.3)
+		})
+		// log2(Δ/q) <= log2(64) = 6; allow generous slack for rounding.
+		rounds := 16
+		tr := core.Run(alg, inputs, src, rounds)
+		if d := tr.DiameterAt(rounds); d != 0 {
+			t.Errorf("n=%d: no exact agreement after %d rounds, diameter %v", n, rounds, d)
+		}
+		// Exact termination: once equal, stays equal forever.
+		last := tr.Final
+		for i := 0; i < 5; i++ {
+			last = last.Step(graph.RandomNonSplit(rng, n, 0.3))
+			if last.Diameter() != 0 {
+				t.Errorf("n=%d: agreement lost after reaching it", n)
+			}
+		}
+	}
+}
+
+func TestQuantizedMidpointRangeNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	q := 0.25
+	alg := algorithms.QuantizedMidpoint{Q: q}
+	inputs := []float64{0, 4, 1.5, 2.75, 3.25}
+	tr := core.Run(alg, inputs, core.Func(func(int, *core.Config) graph.Graph {
+		return graph.RandomNonSplit(rng, 5, 0.4)
+	}), 12)
+	d := tr.Diameters()
+	for i := 1; i < len(d); i++ {
+		if d[i] > d[i-1]+1e-12 {
+			t.Fatalf("range grew at round %d: %v -> %v", i, d[i-1], d[i])
+		}
+	}
+}
+
+func TestQuantizedMidpointValidation(t *testing.T) {
+	for _, q := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Q=%v accepted", q)
+				}
+			}()
+			algorithms.QuantizedMidpoint{Q: q}.NewAgent(0, 2, 0)
+		}()
+	}
+	// Off-grid initial values snap down.
+	a := algorithms.QuantizedMidpoint{Q: 0.5}.NewAgent(0, 2, 0.74)
+	if a.Output() != 0.5 {
+		t.Errorf("off-grid input snapped to %v, want 0.5", a.Output())
+	}
+}

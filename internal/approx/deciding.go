@@ -1,0 +1,164 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// This file implements the paper's formal approximate-consensus interface
+// (Section 9): each agent carries a write-once decision variable d_i,
+// initialized to ⊥, set at most once ("agent i decides v"). Deciding is
+// wrapped around an arbitrary asymptotic consensus algorithm: run it for a
+// fixed number of rounds, then decide the current output — the reduction
+// used in both directions by Theorems 8-11.
+
+// Undecided is the ⊥ value of the decision variable.
+var Undecided = math.NaN()
+
+// DecidingAlgorithm wraps an asymptotic consensus algorithm with the
+// write-once decision semantics: agents decide their current output at
+// the end of round DecisionRound (0 decides immediately on the input).
+// It is itself a valid core.Algorithm — after deciding, agents keep
+// participating (forwarding their frozen value), which keeps the wrapped
+// executions well-formed.
+type DecidingAlgorithm struct {
+	Inner core.Algorithm
+	// DecisionRound is the round after which agents decide.
+	DecisionRound int
+}
+
+// Name implements core.Algorithm.
+func (d DecidingAlgorithm) Name() string {
+	return fmt.Sprintf("deciding(%s,T=%d)", d.Inner.Name(), d.DecisionRound)
+}
+
+// Convex implements core.Algorithm: freezing the output at a reachable
+// value preserves the convex combination property.
+func (d DecidingAlgorithm) Convex() bool { return d.Inner.Convex() }
+
+// NewAgent implements core.Algorithm.
+func (d DecidingAlgorithm) NewAgent(id, n int, initial float64) core.Agent {
+	if d.DecisionRound < 0 {
+		panic(fmt.Sprintf("approx: negative decision round %d", d.DecisionRound))
+	}
+	a := &decidingAgent{inner: d.Inner.NewAgent(id, n, initial), decideAt: d.DecisionRound, decision: Undecided}
+	if d.DecisionRound == 0 {
+		a.decision = a.inner.Output()
+	}
+	return a
+}
+
+type decidingAgent struct {
+	inner    core.Agent
+	decideAt int
+	decision float64
+}
+
+func (a *decidingAgent) Broadcast(round int) core.Message { return a.inner.Broadcast(round) }
+
+func (a *decidingAgent) Deliver(round int, msgs []core.Message) {
+	a.inner.Deliver(round, msgs)
+	if round == a.decideAt && !a.Decided() {
+		a.decision = a.inner.Output()
+	}
+}
+
+// Output returns the decision once taken, the running estimate before.
+func (a *decidingAgent) Output() float64 {
+	if a.Decided() {
+		return a.decision
+	}
+	return a.inner.Output()
+}
+
+func (a *decidingAgent) Clone() core.Agent {
+	return &decidingAgent{inner: a.inner.Clone(), decideAt: a.decideAt, decision: a.decision}
+}
+
+// Decided reports whether the write-once decision variable has been set.
+func (a *decidingAgent) Decided() bool { return !math.IsNaN(a.decision) }
+
+// Decision returns the decision value; it panics if called before the
+// agent decided (reading ⊥ as a value is a protocol error).
+func (a *decidingAgent) Decision() float64 {
+	if !a.Decided() {
+		panic("approx: Decision read before deciding")
+	}
+	return a.decision
+}
+
+// Decisions extracts the decision state of every agent in a configuration
+// of a DecidingAlgorithm: values[i] is the decision of agent i and ok[i]
+// reports whether it has decided. It panics if the configuration does not
+// hold deciding agents.
+func Decisions(c *core.Config) (values []float64, ok []bool) {
+	n := c.N()
+	values = make([]float64, n)
+	ok = make([]bool, n)
+	for i := 0; i < n; i++ {
+		a, is := c.AgentAt(i).(*decidingAgent)
+		if !is {
+			panic("approx: Decisions on a non-deciding configuration")
+		}
+		ok[i] = a.Decided()
+		if ok[i] {
+			values[i] = a.Decision()
+		} else {
+			values[i] = Undecided
+		}
+	}
+	return values, ok
+}
+
+// CheckRun verifies the three approximate-consensus conditions of the
+// paper on a deciding run: Termination (everyone decided), ε-Agreement,
+// and Validity w.r.t. the inputs. It also re-runs the trace's round
+// structure to confirm irrevocability: once decided, an agent's output
+// never changes again.
+func CheckRun(tr *core.Trace, eps float64) error {
+	final := tr.Final
+	values, ok := Decisions(final)
+	for i, decided := range ok {
+		if !decided {
+			return fmt.Errorf("approx: agent %d never decided (Termination violated)", i)
+		}
+		_ = values[i]
+	}
+	if spread := core.Diameter(values); spread > eps*(1+1e-9) {
+		return fmt.Errorf("approx: decision spread %v exceeds eps %v (ε-Agreement violated)", spread, eps)
+	}
+	lo, hi := core.Hull(tr.Inputs)
+	for i, v := range values {
+		if v < lo-1e-9 || v > hi+1e-9 {
+			return fmt.Errorf("approx: agent %d decided %v outside initial hull [%v,%v] (Validity violated)", i, v, lo, hi)
+		}
+	}
+	// Irrevocability: after the decision round, recorded outputs are
+	// constant.
+	for i := range values {
+		var frozen *float64
+		for t, ys := range tr.Outputs {
+			if frozen == nil {
+				if t >= decisionRoundOf(final) {
+					v := ys[i]
+					frozen = &v
+				}
+				continue
+			}
+			if ys[i] != *frozen {
+				return fmt.Errorf("approx: agent %d output changed after deciding (irrevocability violated)", i)
+			}
+		}
+	}
+	return nil
+}
+
+func decisionRoundOf(c *core.Config) int {
+	a, ok := c.AgentAt(0).(*decidingAgent)
+	if !ok {
+		panic("approx: non-deciding configuration")
+	}
+	return a.decideAt
+}

@@ -1,0 +1,156 @@
+package approx_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestDecidingAgentLifecycle(t *testing.T) {
+	alg := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: 2}
+	c := core.NewConfig(alg, []float64{0, 1, 0.5})
+	_, ok := approx.Decisions(c)
+	for i, decided := range ok {
+		if decided {
+			t.Errorf("agent %d decided before any round", i)
+		}
+	}
+	c = c.Step(graph.Complete(3))
+	if _, ok := approx.Decisions(c); ok[0] {
+		t.Error("decided before the decision round")
+	}
+	c = c.Step(graph.Complete(3))
+	values, ok2 := approx.Decisions(c)
+	for i, decided := range ok2 {
+		if !decided {
+			t.Errorf("agent %d undecided after the decision round", i)
+		}
+		if values[i] != 0.5 {
+			t.Errorf("agent %d decided %v, want 0.5", i, values[i])
+		}
+	}
+}
+
+func TestDecisionIsIrrevocable(t *testing.T) {
+	alg := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: 1}
+	c := core.NewConfig(alg, []float64{0, 1})
+	c = c.Step(graph.H(1)) // agent 1 moves to 0.5 and decides; agent 0 decides 0
+	valuesBefore, _ := approx.Decisions(c)
+	// Keep running with graphs that would move a non-frozen midpoint agent.
+	for i := 0; i < 5; i++ {
+		c = c.Step(graph.H(0))
+	}
+	valuesAfter, _ := approx.Decisions(c)
+	for i := range valuesBefore {
+		if valuesBefore[i] != valuesAfter[i] {
+			t.Errorf("agent %d decision drifted from %v to %v", i, valuesBefore[i], valuesAfter[i])
+		}
+		if c.Output(i) != valuesAfter[i] {
+			t.Errorf("agent %d output %v differs from its decision %v", i, c.Output(i), valuesAfter[i])
+		}
+	}
+}
+
+func TestDecideAtZero(t *testing.T) {
+	alg := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: 0}
+	c := core.NewConfig(alg, []float64{0.25, 0.75})
+	values, ok := approx.Decisions(c)
+	if !ok[0] || !ok[1] || values[0] != 0.25 || values[1] != 0.75 {
+		t.Errorf("immediate decision wrong: %v %v", values, ok)
+	}
+}
+
+func TestDecidingAlgorithmMetadata(t *testing.T) {
+	alg := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: 3}
+	if !strings.Contains(alg.Name(), "midpoint") || !strings.Contains(alg.Name(), "T=3") {
+		t.Errorf("Name = %q", alg.Name())
+	}
+	if !alg.Convex() {
+		t.Error("deciding midpoint should stay convex")
+	}
+	nonconvex := approx.DecidingAlgorithm{Inner: algorithms.NewFlowSum([]int{1, 1}), DecisionRound: 1}
+	if nonconvex.Convex() {
+		t.Error("deciding flow-sum should stay non-convex")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative decision round accepted")
+			}
+		}()
+		approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: -1}.NewAgent(0, 2, 0)
+	}()
+}
+
+func TestDecisionsPanicsOnWrongConfig(t *testing.T) {
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Decisions on plain config did not panic")
+		}
+	}()
+	approx.Decisions(c)
+}
+
+func TestCheckRunVerdicts(t *testing.T) {
+	// A correct run: midpoint decider on deaf(K3) with enough rounds.
+	eps := 1e-3
+	rounds := approx.DecisionRounds(0.5, 1, eps)
+	alg := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: rounds}
+	worst := core.Fixed{G: graph.Deaf(graph.Complete(3), 0)}
+	tr := core.Run(alg, []float64{0, 1, 0.5}, worst, rounds)
+	if err := approx.CheckRun(tr, eps); err != nil {
+		t.Errorf("valid run rejected: %v", err)
+	}
+	// An under-provisioned run: one round short violates ε-Agreement on
+	// the worst pattern.
+	short := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: rounds - 1}
+	trShort := core.Run(short, []float64{0, 1, 0.5}, worst, rounds-1)
+	if err := approx.CheckRun(trShort, eps); err == nil {
+		t.Error("ε-violating run accepted")
+	} else if !strings.Contains(err.Error(), "Agreement") {
+		t.Errorf("wrong verdict: %v", err)
+	}
+	// A truncated run: agents never reach their decision round.
+	trTrunc := core.Run(alg, []float64{0, 1, 0.5}, worst, rounds-1)
+	if err := approx.CheckRun(trTrunc, eps); err == nil {
+		t.Error("non-terminating run accepted")
+	} else if !strings.Contains(err.Error(), "Termination") {
+		t.Errorf("wrong verdict: %v", err)
+	}
+}
+
+func TestUndecidedSentinel(t *testing.T) {
+	if !math.IsNaN(approx.Undecided) {
+		t.Error("Undecided should be NaN (⊥)")
+	}
+}
+
+// TestDecidingUnderAdversarialPerturbation checks decision stability: the
+// same decider run against every length-3 pattern prefix over {H_k}
+// always terminates, agrees within eps, and stays valid.
+func TestDecidingUnderAdversarialPerturbation(t *testing.T) {
+	eps := 0.05
+	rounds := approx.DecisionRounds(1.0/3.0, 1, eps)
+	alg := approx.DecidingAlgorithm{Inner: algorithms.TwoThirds{}, DecisionRound: rounds}
+	var walk func(prefix []graph.Graph, depth int)
+	walk = func(prefix []graph.Graph, depth int) {
+		if depth == 0 {
+			src := core.Sequence{Graphs: append(append([]graph.Graph{}, prefix...), graph.H(1))}
+			tr := core.Run(alg, []float64{0, 1}, src, rounds)
+			if err := approx.CheckRun(tr, eps); err != nil {
+				t.Fatalf("prefix %v: %v", prefix, err)
+			}
+			return
+		}
+		for k := 0; k < 3; k++ {
+			walk(append(prefix, graph.H(k)), depth-1)
+		}
+	}
+	walk(nil, 3)
+}

@@ -1,0 +1,197 @@
+package async_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/async"
+)
+
+// chainDelay builds a deterministic delay function from a table keyed by
+// (from, to); unknown pairs get the default.
+func chainDelay(table map[[2]int]float64, def float64) async.DelayFn {
+	return func(from, to int, _ float64) float64 {
+		if d, ok := table[[2]int{from, to}]; ok {
+			return d
+		}
+		return def
+	}
+}
+
+func TestRoundBasedZeroFaultIsSynchronous(t *testing.T) {
+	// With f = 0 every agent waits for all n messages: the system behaves
+	// like a synchronous complete-graph execution regardless of delays.
+	n := 4
+	inputs := []float64{0, 1, 0.25, 0.75}
+	procs := make([]async.Process, n)
+	for i := range procs {
+		procs[i] = async.NewRoundBased(i, n, 0, inputs[i], async.MidpointUpdate, 3)
+	}
+	sim, err := async.NewSimulator(procs, async.UniformDelays(3, 0.2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.RunToQuiescence(100000) {
+		t.Fatal("no quiescence")
+	}
+	// One complete round of midpoint equalizes everyone at 0.5.
+	for i := 0; i < n; i++ {
+		if got := procs[i].Output(); got != 0.5 {
+			t.Errorf("agent %d = %v, want 0.5 after complete-graph midpoint", i, got)
+		}
+	}
+}
+
+func TestRoundBasedBuffersFutureRounds(t *testing.T) {
+	// Agent 2 is slow toward agent 0 only; fast agents 1..3 race ahead and
+	// their round-2 messages reach agent 0 before some round-1 messages.
+	// Round-2 messages must be buffered, not dropped, and agent 0 must
+	// still complete its rounds.
+	n, f := 4, 1
+	inputs := []float64{0, 1, 1, 1}
+	procs := make([]async.Process, n)
+	for i := range procs {
+		procs[i] = async.NewRoundBased(i, n, f, inputs[i], async.MidpointUpdate, 4)
+	}
+	table := map[[2]int]float64{}
+	for _, to := range []int{0} {
+		table[[2]int{2, to}] = 1.0 // slow link 2 -> 0
+	}
+	sim, err := async.NewSimulator(procs, chainDelay(table, 0.1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.RunToQuiescence(100000) {
+		t.Fatal("no quiescence")
+	}
+	for i := 0; i < n; i++ {
+		rb := procs[i].(*async.RoundBased)
+		if rb.Round() != 5 {
+			t.Errorf("agent %d finished at round %d, want 5 (4 rounds + 1)", i, rb.Round())
+		}
+	}
+	if d := sim.CorrectDiameter(); d > 0.25+1e-12 {
+		t.Errorf("diameter %v after 4 rounds of midpoint with f=1", d)
+	}
+}
+
+func TestCrashBeforeAnyBroadcastSilencesAgent(t *testing.T) {
+	// AfterBroadcasts = 0 kills the very first broadcast; with empty
+	// recipients the agent is completely silent.
+	procs := []async.Process{
+		async.NewMinRelay(0, 5),
+		async.NewMinRelay(1, 1),
+		async.NewMinRelay(2, 9),
+	}
+	crashes := []async.Crash{{Agent: 1, AfterBroadcasts: 0, Recipients: 0}}
+	sim, err := async.NewSimulator(procs, async.ConstantDelay(1), crashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(10)
+	if !sim.Crashed(1) {
+		t.Error("agent 1 should have crashed")
+	}
+	// The minimum 1 is lost with the silent crash: survivors agree on 5.
+	outs := sim.CorrectOutputs()
+	if len(outs) != 2 {
+		t.Fatalf("want 2 correct agents, got %d", len(outs))
+	}
+	for _, v := range outs {
+		if v != 5 {
+			t.Errorf("survivor output %v, want 5 (crashed minimum must not leak)", v)
+		}
+	}
+}
+
+func TestCrashScheduleNeverReached(t *testing.T) {
+	// A crash after more broadcasts than the protocol performs never
+	// fires: the agent stays correct.
+	n := 3
+	procs := make([]async.Process, n)
+	for i := range procs {
+		procs[i] = async.NewRoundBased(i, n, 1, float64(i), async.MidpointUpdate, 2)
+	}
+	crashes := []async.Crash{{Agent: 0, AfterBroadcasts: 99, Recipients: 0}}
+	sim, err := async.NewSimulator(procs, async.ConstantDelay(0.5), crashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence(100000)
+	if sim.Crashed(0) {
+		t.Error("agent 0 crashed although its schedule was never reached")
+	}
+	if len(sim.CorrectOutputs()) != n {
+		t.Error("some agent wrongly marked crashed")
+	}
+}
+
+func TestMinRelayIgnoresNonSetMessages(t *testing.T) {
+	p := async.NewMinRelay(0, 3)
+	if out := p.Receive(async.Message{From: 1, Round: 1, Value: 7}); out != nil {
+		t.Error("MinRelay reacted to a round-based message")
+	}
+	if p.Output() != 3 {
+		t.Error("MinRelay state changed on foreign message")
+	}
+}
+
+func TestMinRelayDedupAndBroadcastDiscipline(t *testing.T) {
+	p := async.NewMinRelay(0, 3)
+	out := p.Receive(async.Message{From: 1, Set: []float64{1, 5}})
+	if len(out) != 1 {
+		t.Fatalf("growth should trigger exactly one broadcast, got %d", len(out))
+	}
+	if got := p.Set(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("merged set = %v", got)
+	}
+	if p.Output() != 1 {
+		t.Errorf("output %v, want min 1", p.Output())
+	}
+	// Re-delivering the same set must not re-broadcast (termination).
+	if out := p.Receive(async.Message{From: 2, Set: []float64{1, 5}}); out != nil {
+		t.Error("duplicate set triggered a broadcast")
+	}
+	// A strict subset must not re-broadcast either.
+	if out := p.Receive(async.Message{From: 2, Set: []float64{5}}); out != nil {
+		t.Error("subset set triggered a broadcast")
+	}
+}
+
+func TestSimulatorClockAndDeliveredMonotone(t *testing.T) {
+	n := 4
+	procs := make([]async.Process, n)
+	for i := range procs {
+		procs[i] = async.NewMinRelay(i, float64(i))
+	}
+	sim, err := async.NewSimulator(procs, async.UniformDelays(9, 0.3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevNow, prevDel := 0.0, 0
+	for _, horizon := range []float64{0.25, 0.5, 1, 2, 4} {
+		sim.RunUntil(horizon)
+		if sim.Now() < prevNow {
+			t.Error("clock went backwards")
+		}
+		if sim.Now() < horizon {
+			t.Errorf("clock %v below horizon %v", sim.Now(), horizon)
+		}
+		if sim.Delivered() < prevDel {
+			t.Error("delivery count decreased")
+		}
+		prevNow, prevDel = sim.Now(), sim.Delivered()
+	}
+	if math.IsNaN(sim.CorrectDiameter()) {
+		t.Error("diameter NaN")
+	}
+}
+
+func TestRoundBasedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("f >= n accepted")
+		}
+	}()
+	async.NewRoundBased(0, 3, 3, 0, async.MidpointUpdate, 5)
+}

@@ -1,0 +1,270 @@
+package async
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// UpdateFn computes a round-based agent's next value from the multiset of
+// values received in the round (at least n-f of them, own value included).
+// The slice may be reordered in place.
+type UpdateFn func(received []float64) float64
+
+// MidpointUpdate is the midpoint rule (min+max)/2 — Algorithm 2 of the
+// paper applied round-by-round. Because every round's effective
+// communication graph in a system with f < n/2 crashes is non-split, it
+// contracts the range by 1/2 per asynchronous round.
+func MidpointUpdate(received []float64) float64 {
+	if len(received) == 0 {
+		panic("async: update on empty receive set")
+	}
+	lo, hi := received[0], received[0]
+	for _, v := range received[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanUpdate averages all received values.
+func MeanUpdate(received []float64) float64 {
+	if len(received) == 0 {
+		panic("async: update on empty receive set")
+	}
+	sum := 0.0
+	for _, v := range received {
+		sum += v
+	}
+	return sum / float64(len(received))
+}
+
+// SelectedMeanUpdate returns the Fekete-style update for up to f crashes:
+// sort the received values and average every f-th one (ranks 0, f, 2f,
+// ...). Any two agents' rank-kf values are within f global ranks of each
+// other, so the averages of the >= ⌈n/f⌉-1 selected values differ by at
+// most range/(⌈n/f⌉-1): the 1/(⌈n/f⌉-1) round contraction the paper's
+// Table 1 lists as the round-based upper bound (Fekete 1994).
+func SelectedMeanUpdate(f int) UpdateFn {
+	if f < 1 {
+		panic(fmt.Sprintf("async: SelectedMeanUpdate requires f >= 1, got %d", f))
+	}
+	return func(received []float64) float64 {
+		if len(received) == 0 {
+			panic("async: update on empty receive set")
+		}
+		sort.Float64s(received)
+		sum, count := 0.0, 0
+		for k := 0; k < len(received); k += f {
+			sum += received[k]
+			count++
+		}
+		return sum / float64(count)
+	}
+}
+
+// RoundBased is the classical round-based asynchronous agent: it waits for
+// n-f messages of its current round (its own included), applies the
+// update, and broadcasts the next round's message. Messages of past
+// rounds are discarded; messages of future rounds are buffered.
+type RoundBased struct {
+	id, n, f int
+	update   UpdateFn
+	maxRound int
+
+	round int
+	y     float64
+	inbox map[int]map[int]float64 // round -> sender -> value
+}
+
+// NewRoundBased constructs a round-based agent. maxRound caps how many
+// rounds the agent executes (keeping simulations finite); 0 means no cap.
+func NewRoundBased(id, n, f int, initial float64, update UpdateFn, maxRound int) *RoundBased {
+	if f < 0 || f >= n {
+		panic(fmt.Sprintf("async: RoundBased requires 0 <= f < n, got f=%d n=%d", f, n))
+	}
+	return &RoundBased{
+		id: id, n: n, f: f,
+		update:   update,
+		maxRound: maxRound,
+		round:    1,
+		y:        initial,
+		inbox:    make(map[int]map[int]float64),
+	}
+}
+
+// ID implements Process.
+func (p *RoundBased) ID() int { return p.id }
+
+// Round returns the agent's current round number.
+func (p *RoundBased) Round() int { return p.round }
+
+// Output implements Process.
+func (p *RoundBased) Output() float64 { return p.y }
+
+// Init implements Process: broadcast the round-1 value.
+func (p *RoundBased) Init() []Message {
+	return []Message{{Round: 1, Value: p.y}}
+}
+
+// Receive implements Process.
+func (p *RoundBased) Receive(m Message) []Message {
+	if m.Round < p.round {
+		return nil // stale round, communication closed
+	}
+	buf := p.inbox[m.Round]
+	if buf == nil {
+		buf = make(map[int]float64, p.n)
+		p.inbox[m.Round] = buf
+	}
+	if _, dup := buf[m.From]; dup {
+		return nil
+	}
+	buf[m.From] = m.Value
+
+	var out []Message
+	for {
+		cur := p.inbox[p.round]
+		if len(cur) < p.n-p.f {
+			break
+		}
+		values := make([]float64, 0, len(cur))
+		for _, v := range cur {
+			values = append(values, v)
+		}
+		// Maps iterate in random order; sort for determinism before the
+		// update sees the slice.
+		sort.Float64s(values)
+		p.y = p.update(values)
+		delete(p.inbox, p.round)
+		p.round++
+		if p.maxRound > 0 && p.round > p.maxRound {
+			return out
+		}
+		out = append(out, Message{Round: p.round, Value: p.y})
+	}
+	return out
+}
+
+// MinRelay is the non-round-based algorithm of Theorem 7: each agent
+// maintains the set S_i of values it knows, initially its own input.
+// Whenever the set grows, the agent sets y_i = min(S_i) and broadcasts the
+// set. By the causal-chain argument of Theorem 7, all correct agents hold
+// identical sets — and hence identical outputs — by time f+1, giving
+// contraction rate 0.
+type MinRelay struct {
+	id  int
+	set []float64 // sorted ascending, deduplicated
+	y   float64
+}
+
+// NewMinRelay constructs a MinRelay agent with its initial value.
+func NewMinRelay(id int, initial float64) *MinRelay {
+	return &MinRelay{id: id, set: []float64{initial}, y: initial}
+}
+
+// ID implements Process.
+func (p *MinRelay) ID() int { return p.id }
+
+// Output implements Process.
+func (p *MinRelay) Output() float64 { return p.y }
+
+// Set returns a copy of the agent's current value set.
+func (p *MinRelay) Set() []float64 {
+	out := make([]float64, len(p.set))
+	copy(out, p.set)
+	return out
+}
+
+// Init implements Process.
+func (p *MinRelay) Init() []Message {
+	return []Message{{Set: p.Set()}}
+}
+
+// Receive implements Process.
+func (p *MinRelay) Receive(m Message) []Message {
+	if m.Set == nil {
+		return nil
+	}
+	grew := false
+	for _, v := range m.Set {
+		if !containsSorted(p.set, v) {
+			p.set = insertSorted(p.set, v)
+			grew = true
+		}
+	}
+	if !grew {
+		return nil
+	}
+	p.y = p.set[0]
+	return []Message{{Set: p.Set()}}
+}
+
+func containsSorted(s []float64, v float64) bool {
+	i := sort.SearchFloat64s(s, v)
+	return i < len(s) && s[i] == v
+}
+
+func insertSorted(s []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// roundUpdateAlgorithm adapts an UpdateFn to a synchronous core.Algorithm,
+// embedding round-based asynchronous algorithms into the Heard-Of model:
+// a synchronous round under a communication graph with minimum in-degree
+// >= n-f is exactly an asynchronous round in which each agent's first
+// n-f (or more) arrivals are its in-neighbors' messages. This is the
+// reduction behind Theorem 6 (Section 8.1).
+type roundUpdateAlgorithm struct {
+	name   string
+	update UpdateFn
+}
+
+// AsCoreAlgorithm wraps a round-based update rule as a core.Algorithm for
+// use with network models such as N_A(n, f). The update must be a convex
+// combination rule (all of MidpointUpdate, MeanUpdate, SelectedMeanUpdate
+// are).
+func AsCoreAlgorithm(name string, update UpdateFn) core.Algorithm {
+	return roundUpdateAlgorithm{name: name, update: update}
+}
+
+// Name implements core.Algorithm.
+func (a roundUpdateAlgorithm) Name() string { return a.name }
+
+// Convex implements core.Algorithm.
+func (a roundUpdateAlgorithm) Convex() bool { return true }
+
+// NewAgent implements core.Algorithm.
+func (a roundUpdateAlgorithm) NewAgent(id, n int, initial float64) core.Agent {
+	return &roundUpdateAgent{update: a.update, y: initial}
+}
+
+type roundUpdateAgent struct {
+	update UpdateFn
+	y      float64
+}
+
+func (p *roundUpdateAgent) Broadcast(int) core.Message { return core.Message{Value: p.y} }
+
+func (p *roundUpdateAgent) Deliver(_ int, msgs []core.Message) {
+	values := make([]float64, len(msgs))
+	for i, m := range msgs {
+		values[i] = m.Value
+	}
+	p.y = p.update(values)
+}
+
+func (p *roundUpdateAgent) Output() float64 { return p.y }
+func (p *roundUpdateAgent) Clone() core.Agent {
+	cp := *p
+	return &cp
+}

@@ -1,0 +1,209 @@
+package byzantine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file adds the *asynchronous* rounds of Dolev et al.: each correct
+// agent proceeds on the first n-f round-r values it receives (its own
+// included), of which up to f may come from Byzantine agents. The paper
+// states that this algorithm's contraction rate is asymptotically optimal
+// for round-based algorithms when n > 5f (Section 1, discussion after
+// Theorem 6); the resilience bound n > 5f of [14] was later improved to
+// n > 3f by Abraham, Amit, Dolev [1], which is out of scope here.
+
+// QuorumPicker chooses which n-f senders each correct agent hears in a
+// round — the asynchrony adversary. Byzantine membership of quorums is
+// the attack surface: stuffing a quorum with f Byzantine values maximizes
+// damage.
+type QuorumPicker interface {
+	// Pick returns the quorum (bitmask over senders, must include self,
+	// must have exactly n-f members) for the given recipient and round.
+	Pick(round, recipient int, sys *AsyncSystem) uint64
+}
+
+// RandomQuorums samples uniform quorums that always include every
+// Byzantine agent (worst case for value injection) and the recipient.
+type RandomQuorums struct{ Rng *rand.Rand }
+
+// Pick implements QuorumPicker.
+func (q RandomQuorums) Pick(_, recipient int, sys *AsyncSystem) uint64 {
+	mask := uint64(1) << uint(recipient)
+	for b := range sys.byz {
+		mask |= 1 << uint(b)
+	}
+	perm := q.Rng.Perm(sys.n)
+	for _, j := range perm {
+		if popcount(mask) == sys.n-sys.f {
+			break
+		}
+		if j != recipient && !sys.byz[j] {
+			mask |= 1 << uint(j)
+		}
+	}
+	return mask
+}
+
+// SplitQuorums is the pinning adversary for the resilience boundary: it
+// gives low-valued agents quorums of low correct values plus Byzantine
+// lows, and symmetrically for high-valued agents.
+type SplitQuorums struct{}
+
+// Pick implements QuorumPicker.
+func (SplitQuorums) Pick(_, recipient int, sys *AsyncSystem) uint64 {
+	lo, hi := correctHull(sys.values)
+	mid := (lo + hi) / 2
+	recipientLow := sys.values[recipient] < mid
+	type cand struct {
+		id  int
+		val float64
+	}
+	var cands []cand
+	for j := 0; j < sys.n; j++ {
+		if j == recipient || sys.byz[j] {
+			continue
+		}
+		cands = append(cands, cand{j, sys.values[j]})
+	}
+	// Sort correct candidates so the recipient's side comes first.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			less := cands[j].val < cands[i].val
+			if !recipientLow {
+				less = cands[j].val > cands[i].val
+			}
+			if less {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	mask := uint64(1) << uint(recipient)
+	for b := range sys.byz {
+		mask |= 1 << uint(b)
+	}
+	for _, c := range cands {
+		if popcount(mask) == sys.n-sys.f {
+			break
+		}
+		mask |= 1 << uint(c.id)
+	}
+	return mask
+}
+
+func popcount(m uint64) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}
+
+// AsyncSystem is the asynchronous-round Byzantine system: correct agents
+// step on n-f values per round (quorum chosen by the picker), trim f
+// from each side, and take the midpoint of the remainder.
+type AsyncSystem struct {
+	n        int
+	f        int
+	byz      map[int]bool
+	strategy Strategy
+	picker   QuorumPicker
+	values   []float64
+	round    int
+}
+
+// NewAsyncSystem validates and builds the system. It requires n > 3f so
+// the trimmed quorum (n-f values minus 2f trims) is nonempty; the
+// classical convergence guarantee needs n > 5f, which callers assert per
+// experiment.
+func NewAsyncSystem(initial []float64, byzantine []int, strategy Strategy, picker QuorumPicker) (*AsyncSystem, error) {
+	n := len(initial)
+	if n < 1 {
+		return nil, fmt.Errorf("byzantine: no agents")
+	}
+	byz := make(map[int]bool, len(byzantine))
+	for _, b := range byzantine {
+		if b < 0 || b >= n {
+			return nil, fmt.Errorf("byzantine: agent %d out of range", b)
+		}
+		if byz[b] {
+			return nil, fmt.Errorf("byzantine: duplicate agent %d", b)
+		}
+		byz[b] = true
+	}
+	f := len(byz)
+	if n <= 3*f {
+		return nil, fmt.Errorf("byzantine: async rounds need n > 3f, got n=%d f=%d", n, f)
+	}
+	values := make([]float64, n)
+	for i, v := range initial {
+		if byz[i] {
+			values[i] = math.NaN()
+		} else {
+			values[i] = v
+		}
+	}
+	return &AsyncSystem{n: n, f: f, byz: byz, strategy: strategy, picker: picker, values: values}, nil
+}
+
+// CorrectValues returns the correct agents' values in agent order.
+func (s *AsyncSystem) CorrectValues() []float64 {
+	out := make([]float64, 0, s.n-s.f)
+	for i, v := range s.values {
+		if !s.byz[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CorrectDiameter returns the diameter over correct agents.
+func (s *AsyncSystem) CorrectDiameter() float64 {
+	lo, hi := correctHull(s.values)
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}
+
+// Step runs one asynchronous round.
+func (s *AsyncSystem) Step() {
+	s.round++
+	next := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		if s.byz[i] {
+			next[i] = math.NaN()
+			continue
+		}
+		quorum := s.picker.Pick(s.round, i, s)
+		if quorum&(1<<uint(i)) == 0 || popcount(quorum) != s.n-s.f {
+			panic(fmt.Sprintf("byzantine: picker produced invalid quorum %b for agent %d", quorum, i))
+		}
+		var received []float64
+		for j := 0; j < s.n; j++ {
+			if quorum&(1<<uint(j)) == 0 {
+				continue
+			}
+			if s.byz[j] {
+				received = append(received, s.strategy.Send(s.round, j, i, s.values))
+			} else {
+				received = append(received, s.values[j])
+			}
+		}
+		next[i] = TrimmedMidpoint(received, s.f)
+	}
+	s.values = next
+}
+
+// Run executes rounds and returns the correct diameters (index 0 =
+// initial).
+func (s *AsyncSystem) Run(rounds int) []float64 {
+	out := make([]float64, 0, rounds+1)
+	out = append(out, s.CorrectDiameter())
+	for r := 0; r < rounds; r++ {
+		s.Step()
+		out = append(out, s.CorrectDiameter())
+	}
+	return out
+}

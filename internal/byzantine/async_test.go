@@ -1,0 +1,136 @@
+package byzantine_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/byzantine"
+)
+
+func TestAsyncSystemValidation(t *testing.T) {
+	if _, err := byzantine.NewAsyncSystem(nil, nil, byzantine.Mirror{}, byzantine.SplitQuorums{}); err == nil {
+		t.Error("empty system accepted")
+	}
+	// n = 3f rejected for async rounds.
+	if _, err := byzantine.NewAsyncSystem(make([]float64, 6), []int{4, 5}, byzantine.Mirror{}, byzantine.SplitQuorums{}); err == nil {
+		t.Error("n <= 3f accepted")
+	}
+	if _, err := byzantine.NewAsyncSystem(make([]float64, 4), []int{9}, byzantine.Mirror{}, byzantine.SplitQuorums{}); err == nil {
+		t.Error("out-of-range Byzantine agent accepted")
+	}
+}
+
+// TestAsyncValidityAlways checks that with n > 3f the correct values
+// never leave the correct hull, no matter the quorum picker or strategy:
+// trimming f from both sides of an n-f quorum with at most f Byzantine
+// entries removes every injected extreme.
+func TestAsyncValidityAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	strategies := []byzantine.Strategy{
+		byzantine.Echo{Value: -1e9},
+		byzantine.Split{Magnitude: 1e9},
+		byzantine.Mirror{},
+	}
+	for _, tc := range []struct{ n, f int }{{4, 1}, {7, 2}, {11, 2}, {13, 2}} {
+		for _, strat := range strategies {
+			for _, picker := range []byzantine.QuorumPicker{
+				byzantine.RandomQuorums{Rng: rng},
+				byzantine.SplitQuorums{},
+			} {
+				inputs := make([]float64, tc.n)
+				for i := range inputs {
+					inputs[i] = rng.Float64()
+				}
+				byzSet := make([]int, tc.f)
+				for k := range byzSet {
+					byzSet[k] = tc.n - 1 - k
+				}
+				sys, err := byzantine.NewAsyncSystem(inputs, byzSet, strat, picker)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, v := range sys.CorrectValues() {
+					lo = math.Min(lo, v)
+					hi = math.Max(hi, v)
+				}
+				diams := sys.Run(8)
+				for r := 1; r < len(diams); r++ {
+					if diams[r] > diams[r-1]+1e-12 {
+						t.Errorf("n=%d f=%d %s: diameter grew at round %d", tc.n, tc.f, strat.Name(), r)
+					}
+				}
+				for _, v := range sys.CorrectValues() {
+					if v < lo-1e-9 || v > hi+1e-9 {
+						t.Errorf("n=%d f=%d %s: validity violated: %v outside [%v,%v]",
+							tc.n, tc.f, strat.Name(), v, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncConvergesAboveFiveF checks the Dolev et al. regime the paper
+// cites: for n > 5f the asynchronous trimmed-midpoint keeps contracting
+// against every implemented adversary.
+func TestAsyncConvergesAboveFiveF(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, tc := range []struct{ n, f int }{{6, 1}, {11, 2}, {16, 3}} {
+		for _, strat := range []byzantine.Strategy{byzantine.Split{Magnitude: 1e6}, byzantine.Mirror{}} {
+			inputs := make([]float64, tc.n)
+			for i := range inputs {
+				inputs[i] = rng.Float64()
+			}
+			byzSet := make([]int, tc.f)
+			for k := range byzSet {
+				byzSet[k] = tc.n - 1 - k
+			}
+			sys, err := byzantine.NewAsyncSystem(inputs, byzSet, strat, byzantine.SplitQuorums{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diams := sys.Run(40)
+			if diams[len(diams)-1] > 1e-6*diams[0] {
+				t.Errorf("n=%d f=%d %s: no convergence: %v -> %v",
+					tc.n, tc.f, strat.Name(), diams[0], diams[len(diams)-1])
+			}
+		}
+	}
+}
+
+// TestAsyncPinsAtFiveF demonstrates the n <= 5f cliff with the explicit
+// construction: n = 5, f = 1, correct values {0, 0, 1, 1}. The split
+// quorum hands low agents {0, 0, byz-low, x} and high agents symmetric
+// quorums; after trimming, low agents stay at 0 and high agents at 1.
+func TestAsyncPinsAtFiveF(t *testing.T) {
+	sys, err := byzantine.NewAsyncSystem(
+		[]float64{0, 0, 1, 1, 99}, []int{4},
+		byzantine.Split{Magnitude: 1e6}, byzantine.SplitQuorums{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diams := sys.Run(10)
+	for r, d := range diams {
+		if d != 1 {
+			t.Fatalf("round %d: diameter %v, want the attack to pin it at 1", r, d)
+		}
+	}
+}
+
+func TestAsyncQuorumShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sys, err := byzantine.NewAsyncSystem(
+		[]float64{0.1, 0.9, 0.5, 0.3, 0.7, 99}, []int{5},
+		byzantine.Mirror{}, byzantine.RandomQuorums{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step panics on malformed quorums; several rounds exercise the
+	// pickers' invariants.
+	sys.Run(5)
+	if sys.CorrectDiameter() > 0.8 {
+		t.Errorf("little progress under random quorums: %v", sys.CorrectDiameter())
+	}
+}

@@ -1,0 +1,217 @@
+// Package byzantine implements the synchronous approximate-agreement
+// setting of Dolev, Lynch, Pinter, Stark, Weihl (JACM 1986) — the paper's
+// reference [14] and the origin of the open problem its Theorems 1-3
+// resolve. The paper recounts that [14] proved the round-by-round
+// contraction rate 1/2 tight for "cautious" algorithms in synchronous
+// systems with Byzantine agents, leaving arbitrary algorithms open; this
+// package reproduces that classical baseline:
+//
+//   - a synchronous full-information round structure in which every
+//     correct agent receives one value from everybody, with Byzantine
+//     agents free to send different values to different recipients,
+//   - the cautious trimmed-midpoint update: discard the f lowest and f
+//     highest received values, then take the midpoint of the remainder —
+//     contraction 1/2 per round for n > 3f, and
+//   - adversarial Byzantine strategies, including the classic "split"
+//     strategy that pins correct agents apart and shows the n <= 3f
+//     resilience bound is sharp (Fischer, Lynch, Merritt — reference
+//     [19]).
+package byzantine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Strategy decides what a Byzantine agent sends: the value agent byz
+// delivers to the given recipient in the given round. Implementations see
+// the correct agents' current values (read-only) to mount adaptive
+// attacks.
+type Strategy interface {
+	// Name identifies the strategy in tables.
+	Name() string
+	// Send returns the value Byzantine agent byz sends to recipient in
+	// round round, given the current values of all agents (entries of
+	// Byzantine agents are meaningless).
+	Send(round, byz, recipient int, values []float64) float64
+}
+
+// Echo is the benign strategy: Byzantine agents echo a fixed constant to
+// everyone (a crashed-but-babbling agent).
+type Echo struct{ Value float64 }
+
+// Name implements Strategy.
+func (e Echo) Name() string { return fmt.Sprintf("echo(%g)", e.Value) }
+
+// Send implements Strategy.
+func (e Echo) Send(int, int, int, []float64) float64 { return e.Value }
+
+// Split is the classical attack: to recipients whose value is in the
+// upper half of the correct range it sends a huge value, to the others a
+// tiny one, trying to keep the correct agents apart. With n > 3f the
+// trimming removes the extremes and the attack fails; with n <= 3f it
+// pins the correct agents at their positions forever.
+type Split struct{ Magnitude float64 }
+
+// Name implements Strategy.
+func (s Split) Name() string { return "split" }
+
+// Send implements Strategy.
+func (s Split) Send(_, _, recipient int, values []float64) float64 {
+	lo, hi := correctHull(values)
+	mid := (lo + hi) / 2
+	if values[recipient] >= mid {
+		return s.Magnitude
+	}
+	return -s.Magnitude
+}
+
+// Mirror sends every recipient its own current value back, reinforcing
+// disagreement without ever leaving the plausible range.
+type Mirror struct{}
+
+// Name implements Strategy.
+func (Mirror) Name() string { return "mirror" }
+
+// Send implements Strategy.
+func (Mirror) Send(_, _, recipient int, values []float64) float64 {
+	return values[recipient]
+}
+
+func correctHull(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	return lo, hi
+}
+
+// TrimmedMidpoint returns the cautious update of [14]: sort the received
+// values, discard the f smallest and f largest, and return the midpoint
+// of the remainder. It panics if fewer than 2f+1 values are supplied.
+func TrimmedMidpoint(received []float64, f int) float64 {
+	if len(received) < 2*f+1 {
+		panic(fmt.Sprintf("byzantine: %d values cannot survive trimming f=%d", len(received), f))
+	}
+	sorted := append([]float64(nil), received...)
+	sort.Float64s(sorted)
+	trimmed := sorted[f : len(sorted)-f]
+	return (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+}
+
+// System is a synchronous full-information system with a fixed Byzantine
+// set. Correct agents run the trimmed-midpoint update; Byzantine agents
+// follow the configured strategy.
+type System struct {
+	n        int
+	f        int // trimming parameter = Byzantine budget
+	byz      map[int]bool
+	strategy Strategy
+	values   []float64 // correct agents' values; Byzantine entries NaN
+	round    int
+}
+
+// NewSystem builds a system with the given initial values, Byzantine agent
+// set, and strategy. The trimming parameter f is the size of the
+// Byzantine set (the classical setting: the budget is known and fully
+// used).
+func NewSystem(initial []float64, byzantine []int, strategy Strategy) (*System, error) {
+	n := len(initial)
+	if n < 1 {
+		return nil, fmt.Errorf("byzantine: no agents")
+	}
+	byz := make(map[int]bool, len(byzantine))
+	for _, b := range byzantine {
+		if b < 0 || b >= n {
+			return nil, fmt.Errorf("byzantine: agent %d out of range", b)
+		}
+		if byz[b] {
+			return nil, fmt.Errorf("byzantine: duplicate agent %d", b)
+		}
+		byz[b] = true
+	}
+	f := len(byz)
+	if n <= 2*f {
+		return nil, fmt.Errorf("byzantine: n=%d cannot trim f=%d from both sides", n, f)
+	}
+	values := make([]float64, n)
+	for i, v := range initial {
+		if byz[i] {
+			values[i] = math.NaN()
+		} else {
+			values[i] = v
+		}
+	}
+	return &System{n: n, f: f, byz: byz, strategy: strategy, values: values}, nil
+}
+
+// N returns the agent count, F the Byzantine budget.
+func (s *System) N() int { return s.n }
+
+// F returns the Byzantine budget (also the trimming parameter).
+func (s *System) F() int { return s.f }
+
+// Round returns the number of completed rounds.
+func (s *System) Round() int { return s.round }
+
+// CorrectValues returns the current values of the correct agents, in
+// agent order.
+func (s *System) CorrectValues() []float64 {
+	out := make([]float64, 0, s.n-s.f)
+	for i, v := range s.values {
+		if !s.byz[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CorrectDiameter returns the value diameter over correct agents.
+func (s *System) CorrectDiameter() float64 {
+	lo, hi := correctHull(s.values)
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}
+
+// Step executes one synchronous round: every correct agent receives n
+// values (its own, the other correct agents', and whatever the Byzantine
+// agents choose per recipient) and applies the trimmed midpoint.
+func (s *System) Step() {
+	s.round++
+	next := make([]float64, s.n)
+	received := make([]float64, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		if s.byz[i] {
+			next[i] = math.NaN()
+			continue
+		}
+		received = received[:0]
+		for j := 0; j < s.n; j++ {
+			if s.byz[j] {
+				received = append(received, s.strategy.Send(s.round, j, i, s.values))
+			} else {
+				received = append(received, s.values[j])
+			}
+		}
+		next[i] = TrimmedMidpoint(received, s.f)
+	}
+	s.values = next
+}
+
+// Run executes the given number of rounds and returns the correct-agent
+// diameters after each round (index 0 = initial).
+func (s *System) Run(rounds int) []float64 {
+	out := make([]float64, 0, rounds+1)
+	out = append(out, s.CorrectDiameter())
+	for r := 0; r < rounds; r++ {
+		s.Step()
+		out = append(out, s.CorrectDiameter())
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package core implements the round-based dynamic-network execution model
+// of Section 2 of Függer, Nowak, Schwarz, "Tight Bounds for Asymptotic and
+// Approximate Consensus" (PODC 2018).
+//
+// Computation proceeds in communication-closed rounds: in every round each
+// agent broadcasts a message, receives the messages of its in-neighbors in
+// that round's communication graph (always including its own message, per
+// the mandatory self-loop), and deterministically updates its state.
+//
+// Agents are deterministic, clonable state machines. Clonability is part
+// of the contract because the valency estimator and the lower-bound
+// adversaries fork configurations mid-execution to explore the execution
+// tree, exactly as the paper's proofs branch over successor
+// configurations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Message is what an agent broadcasts in a round. Value carries the
+// consensus variable y_i; Aux optionally carries extra algorithm state
+// (e.g. the running min/max interval of the amortized midpoint algorithm).
+// Receivers must treat Aux as read-only; senders must not retain it.
+type Message struct {
+	From  int
+	Value float64
+	Aux   []float64
+}
+
+// Agent is the deterministic per-agent state machine of an asymptotic
+// consensus algorithm. Round numbers start at 1, matching the paper;
+// Output before any round reflects the initial value.
+type Agent interface {
+	// Broadcast returns the message the agent sends in the given round.
+	// It must not mutate agent state.
+	Broadcast(round int) Message
+	// Deliver hands the agent the messages it hears in the given round.
+	// The slice always contains the agent's own message (self-loop). The
+	// agent must not retain the slice.
+	Deliver(round int, msgs []Message)
+	// Output returns the current value of the consensus variable y_i.
+	Output() float64
+	// Clone returns an independent deep copy of the agent.
+	Clone() Agent
+}
+
+// Algorithm creates agents and describes algorithm-level properties.
+type Algorithm interface {
+	// Name identifies the algorithm in tables and traces.
+	Name() string
+	// NewAgent creates the agent with the given identity, system size, and
+	// initial value.
+	NewAgent(id, n int, initial float64) Agent
+	// Convex reports whether the algorithm is a convex combination
+	// algorithm: every update keeps y_i inside the convex hull of the
+	// values received in that round. Convexity is what licenses the outer
+	// valency bound used by the estimator (see internal/valency), and by
+	// Theorem 2 of the paper it makes the consensus function continuous.
+	Convex() bool
+}
+
+// Config is a configuration: the collection of all agent states after some
+// round. Step produces successor configurations without mutating the
+// receiver, mirroring the paper's G.C notation.
+type Config struct {
+	n      int
+	round  int
+	agents []Agent
+}
+
+// NewConfig returns the initial configuration of alg on the given inputs
+// (one per agent).
+func NewConfig(alg Algorithm, inputs []float64) *Config {
+	n := len(inputs)
+	if n < 1 || n > graph.MaxNodes {
+		panic(fmt.Sprintf("core: invalid agent count %d", n))
+	}
+	agents := make([]Agent, n)
+	for i, v := range inputs {
+		agents[i] = alg.NewAgent(i, n, v)
+	}
+	return &Config{n: n, agents: agents}
+}
+
+// N returns the number of agents.
+func (c *Config) N() int { return c.n }
+
+// Round returns the number of completed rounds.
+func (c *Config) Round() int { return c.round }
+
+// Output returns agent i's current value.
+func (c *Config) Output(i int) float64 { return c.agents[i].Output() }
+
+// AgentAt exposes agent i for inspection (e.g. reading decision state of
+// wrapper algorithms). Callers must not mutate the agent; fork the
+// configuration with Clone first if mutation is needed.
+func (c *Config) AgentAt(i int) Agent { return c.agents[i] }
+
+// Outputs returns a fresh slice of all agents' current values.
+func (c *Config) Outputs() []float64 {
+	out := make([]float64, c.n)
+	for i, a := range c.agents {
+		out[i] = a.Output()
+	}
+	return out
+}
+
+// Diameter returns the diameter Δ(y) of the current values.
+func (c *Config) Diameter() float64 {
+	return Diameter(c.Outputs())
+}
+
+// Clone returns an independent deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	agents := make([]Agent, c.n)
+	for i, a := range c.agents {
+		agents[i] = a.Clone()
+	}
+	return &Config{n: c.n, round: c.round, agents: agents}
+}
+
+// Step applies one round with communication graph g and returns the
+// successor configuration G.C. The receiver is unchanged.
+func (c *Config) Step(g graph.Graph) *Config {
+	if g.N() != c.n {
+		panic(fmt.Sprintf("core: graph on %d nodes applied to %d agents", g.N(), c.n))
+	}
+	round := c.round + 1
+	msgs := make([]Message, c.n)
+	for i, a := range c.agents {
+		msgs[i] = a.Broadcast(round)
+		msgs[i].From = i
+	}
+	next := make([]Agent, c.n)
+	inbox := make([]Message, 0, c.n)
+	for j := 0; j < c.n; j++ {
+		next[j] = c.agents[j].Clone()
+		inbox = inbox[:0]
+		m := g.InMask(j)
+		for i := 0; i < c.n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				inbox = append(inbox, msgs[i])
+			}
+		}
+		next[j].Deliver(round, inbox)
+	}
+	return &Config{n: c.n, round: round, agents: next}
+}
+
+// StepInPlace applies one round with communication graph g by mutating
+// the receiver's agents — no per-agent cloning. It is the fast path for
+// long measurement runs (Run uses it on a private clone); callers that
+// fork the execution tree must use Step instead.
+func (c *Config) StepInPlace(g graph.Graph) {
+	if g.N() != c.n {
+		panic(fmt.Sprintf("core: graph on %d nodes applied to %d agents", g.N(), c.n))
+	}
+	c.round++
+	msgs := make([]Message, c.n)
+	for i, a := range c.agents {
+		msgs[i] = a.Broadcast(c.round)
+		msgs[i].From = i
+	}
+	inbox := make([]Message, 0, c.n)
+	for j, a := range c.agents {
+		inbox = inbox[:0]
+		m := g.InMask(j)
+		for i := 0; i < c.n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				inbox = append(inbox, msgs[i])
+			}
+		}
+		a.Deliver(c.round, inbox)
+	}
+}
+
+// StepAll applies the rounds of the given graph sequence in order.
+func (c *Config) StepAll(gs []graph.Graph) *Config {
+	cur := c
+	for _, g := range gs {
+		cur = cur.Step(g)
+	}
+	return cur
+}
+
+// IndistinguishableFor reports whether agent i has the same output in c
+// and d. It is a practical proxy for the paper's ~_i relation restricted
+// to observable state; exact state equality is algorithm-specific. Both
+// configurations must have the same size.
+func (c *Config) IndistinguishableFor(i int, d *Config) bool {
+	return c.Output(i) == d.Output(i)
+}
+
+// Diameter returns max values minus min values (the 1-dimensional diameter
+// of the value set); 0 for empty input.
+func Diameter(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Hull returns the convex hull [min, max] of the values.
+func Hull(values []float64) (lo, hi float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	lo, hi = values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestHullNeverExpandsQuick is the whole-stack safety property: for every
+// convex combination algorithm, under arbitrary (even unrooted) random
+// graph sequences, the convex hull of the values never expands — the
+// invariant Validity and the outer valency bound both rest on.
+func TestHullNeverExpandsQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()*200 - 100
+		}
+		algs := []core.Algorithm{
+			algorithms.Midpoint{},
+			algorithms.Mean{},
+			algorithms.AmortizedMidpoint{},
+			algorithms.SelfWeighted{Alpha: rng.Float64()},
+			algorithms.QuantizedMidpoint{Q: 0.5},
+		}
+		alg := algs[rng.Intn(len(algs))]
+		c := core.NewConfig(alg, inputs)
+		lo, hi := core.Hull(c.Outputs())
+		for round := 0; round < 12; round++ {
+			c = c.Step(graph.Random(rng, n, rng.Float64()))
+			nlo, nhi := core.Hull(c.Outputs())
+			if nlo < lo-1e-9 || nhi > hi+1e-9 {
+				return false
+			}
+			lo, hi = nlo, nhi
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTraceRecordsPlayedGraphs checks the trace bookkeeping end to end.
+func TestTraceRecordsPlayedGraphs(t *testing.T) {
+	pat := []graph.Graph{graph.H(1), graph.H(2), graph.H(0)}
+	tr := core.Run(algorithms.Midpoint{}, []float64{0, 1}, core.Sequence{Graphs: pat}, 3)
+	if len(tr.Graphs) != 3 {
+		t.Fatalf("recorded %d graphs", len(tr.Graphs))
+	}
+	for i, g := range pat {
+		if !tr.Graphs[i].Equal(g) {
+			t.Errorf("round %d: recorded %v, want %v", i+1, tr.Graphs[i], g)
+		}
+	}
+	if tr.Algorithm != "midpoint" {
+		t.Errorf("Algorithm = %q", tr.Algorithm)
+	}
+	if got := tr.Rounds(); got != 3 {
+		t.Errorf("Rounds = %d", got)
+	}
+	// Inputs snapshot is decoupled from later state.
+	if tr.Inputs[0] != 0 || tr.Inputs[1] != 1 {
+		t.Errorf("Inputs = %v", tr.Inputs)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// PatternSource produces the communication graph of each round. It is the
+// interface both benign schedulers and lower-bound adversaries implement;
+// an adversary may inspect the pre-round configuration, exactly like the
+// execution-tree constructions in the paper's proofs.
+type PatternSource interface {
+	// Next returns the communication graph of the given round (1-based).
+	// c is the configuration at the start of the round.
+	Next(round int, c *Config) graph.Graph
+}
+
+// Fixed is a PatternSource that plays the same graph every round — the
+// classical fixed-topology setting.
+type Fixed struct{ G graph.Graph }
+
+// Next implements PatternSource.
+func (f Fixed) Next(int, *Config) graph.Graph { return f.G }
+
+// Cycle plays the given graphs in round-robin order.
+type Cycle struct{ Graphs []graph.Graph }
+
+// Next implements PatternSource.
+func (c Cycle) Next(round int, _ *Config) graph.Graph {
+	if len(c.Graphs) == 0 {
+		panic("core: Cycle with no graphs")
+	}
+	return c.Graphs[(round-1)%len(c.Graphs)]
+}
+
+// Sequence plays the given finite prefix and then repeats the final graph
+// forever.
+type Sequence struct{ Graphs []graph.Graph }
+
+// Next implements PatternSource.
+func (s Sequence) Next(round int, _ *Config) graph.Graph {
+	if len(s.Graphs) == 0 {
+		panic("core: Sequence with no graphs")
+	}
+	if round-1 < len(s.Graphs) {
+		return s.Graphs[round-1]
+	}
+	return s.Graphs[len(s.Graphs)-1]
+}
+
+// RandomFromModel draws a uniformly random member of a network model each
+// round, using its own RNG for reproducibility.
+type RandomFromModel struct {
+	Model *model.Model
+	Rng   *rand.Rand
+}
+
+// Next implements PatternSource.
+func (r RandomFromModel) Next(int, *Config) graph.Graph {
+	return r.Model.Graph(r.Rng.Intn(r.Model.Size()))
+}
+
+// Func adapts a function to a PatternSource.
+type Func func(round int, c *Config) graph.Graph
+
+// Next implements PatternSource.
+func (f Func) Next(round int, c *Config) graph.Graph { return f(round, c) }
+
+// Trace records an execution: the initial values, the graph played and the
+// value vector after every round.
+type Trace struct {
+	Algorithm string
+	Inputs    []float64
+	Graphs    []graph.Graph
+	// Outputs[t] is the value vector after round t; Outputs[0] = Inputs.
+	Outputs [][]float64
+	// Final is the configuration after the last round.
+	Final *Config
+}
+
+// Run executes alg from the given inputs for the given number of rounds,
+// drawing graphs from src, and returns the trace.
+func Run(alg Algorithm, inputs []float64, src PatternSource, rounds int) *Trace {
+	return RunConfig(alg.Name(), NewConfig(alg, inputs), src, rounds)
+}
+
+// RunConfig continues an execution from an existing configuration.
+func RunConfig(name string, c *Config, src PatternSource, rounds int) *Trace {
+	if rounds < 0 {
+		panic(fmt.Sprintf("core: negative round count %d", rounds))
+	}
+	tr := &Trace{
+		Algorithm: name,
+		Inputs:    c.Outputs(),
+		Graphs:    make([]graph.Graph, 0, rounds),
+		Outputs:   make([][]float64, 0, rounds+1),
+	}
+	tr.Outputs = append(tr.Outputs, c.Outputs())
+	// Run on a private clone and step in place: one clone total instead of
+	// one per agent per round. Pattern sources still observe the live
+	// configuration (read-only, per the PatternSource contract).
+	cur := c.Clone()
+	for t := 1; t <= rounds; t++ {
+		g := src.Next(cur.round+1, cur)
+		cur.StepInPlace(g)
+		tr.Graphs = append(tr.Graphs, g)
+		tr.Outputs = append(tr.Outputs, cur.Outputs())
+	}
+	tr.Final = cur
+	return tr
+}
+
+// Rounds returns the number of executed rounds.
+func (tr *Trace) Rounds() int { return len(tr.Graphs) }
+
+// DiameterAt returns Δ(y(t)).
+func (tr *Trace) DiameterAt(t int) float64 { return Diameter(tr.Outputs[t]) }
+
+// Diameters returns Δ(y(t)) for t = 0..rounds.
+func (tr *Trace) Diameters() []float64 {
+	out := make([]float64, len(tr.Outputs))
+	for t := range tr.Outputs {
+		out[t] = tr.DiameterAt(t)
+	}
+	return out
+}
+
+// RoundRatios returns the per-round diameter contraction ratios
+// Δ(y(t))/Δ(y(t-1)); rounds whose predecessor diameter is zero yield 0.
+func (tr *Trace) RoundRatios() []float64 {
+	d := tr.Diameters()
+	out := make([]float64, 0, len(d)-1)
+	for t := 1; t < len(d); t++ {
+		if d[t-1] == 0 {
+			out = append(out, 0)
+		} else {
+			out = append(out, d[t]/d[t-1])
+		}
+	}
+	return out
+}
+
+// GeometricRate returns (Δ(y(T))/Δ(y(0)))^(1/T), the empirical per-round
+// contraction factor of the whole run; 0 when the initial diameter is 0 or
+// the final diameter reached 0.
+func (tr *Trace) GeometricRate() float64 {
+	T := tr.Rounds()
+	if T == 0 {
+		return 0
+	}
+	d0 := tr.DiameterAt(0)
+	dT := tr.DiameterAt(T)
+	if d0 == 0 || dT == 0 {
+		return 0
+	}
+	return math.Pow(dT/d0, 1/float64(T))
+}
+
+// WorstRoundRatio returns the largest per-round contraction ratio of the
+// run — the round in which the algorithm contracted least.
+func (tr *Trace) WorstRoundRatio() float64 {
+	worst := 0.0
+	for _, r := range tr.RoundRatios() {
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// ValidityHolds reports whether every recorded value vector stays inside
+// the convex hull of the inputs, with the given absolute tolerance.
+func (tr *Trace) ValidityHolds(tol float64) bool {
+	lo, hi := Hull(tr.Inputs)
+	for _, ys := range tr.Outputs {
+		for _, y := range ys {
+			if y < lo-tol || y > hi+tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algorithms"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "THM8/decision-n2",
+		Title: "decision time, n=2: ceil(log3(Δ/ε)) is optimal",
+		Paper: "Theorem 8 + Algorithm 1 decider",
+		Run:   runThm8,
+	})
+	register(Experiment{
+		ID:    "THM9/decision-nonsplit",
+		Title: "decision time, non-split: ceil(log2(Δ/ε)) is optimal",
+		Paper: "Theorem 9 + midpoint decider",
+		Run:   runThm9,
+	})
+	register(Experiment{
+		ID:    "THM10/decision-rooted",
+		Title: "decision time, rooted: (n-1)ceil(log2(Δ/ε)) vs (n-2)log2(Δ/ε)",
+		Paper: "Theorem 10 + amortized midpoint decider",
+		Run:   runThm10,
+	})
+	register(Experiment{
+		ID:    "THM11/decision-general",
+		Title: "decision time, general models: log_{D+1}(Δ/(εn))",
+		Paper: "Theorem 11 / Corollary 25",
+		Run:   runThm11,
+	})
+}
+
+var sweepEps = []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6}
+
+func runThm8() *Table {
+	t := &Table{
+		ID:     "THM8/decision-n2",
+		Title:  "two-thirds decider vs Theorem 8 lower bound (Δ=1)",
+		Paper:  "Theorem 8: decision time >= log3(Δ/ε)",
+		Header: []string{"ε", "lower bound (rounds)", "decider rounds", "spread at decision", "ε-agreement", "validity"},
+	}
+	d := approx.Decider{Alg: algorithms.TwoThirds{}, Contraction: 1.0 / 3.0}
+	for _, eps := range sweepEps {
+		res := d.Run([]float64{0, 1}, core.Fixed{G: graph.H(1)}, 1, eps)
+		t.AddRow(eps, approx.Theorem8LowerBound(1, eps), res.DecisionRound, res.Spread,
+			res.EpsAgreement, res.Validity)
+	}
+	t.Notes = append(t.Notes,
+		"worst pattern: constant H1 (agent 0 deaf) — the decider needs every one of its rounds",
+		"decider rounds = ⌈lower bound⌉: Algorithm 1's deciding version is optimal")
+	return t
+}
+
+func runThm9() *Table {
+	t := &Table{
+		ID:     "THM9/decision-nonsplit",
+		Title:  "midpoint decider vs Theorem 9 lower bound (Δ=1, deaf(K_n))",
+		Paper:  "Theorem 9: decision time >= log2(Δ/ε)",
+		Header: []string{"n", "ε", "lower bound (rounds)", "decider rounds", "spread at decision", "ok"},
+	}
+	d := approx.Decider{Alg: algorithms.Midpoint{}, Contraction: 0.5}
+	for _, n := range []int{3, 5} {
+		inputs := make([]float64, n)
+		inputs[1] = 1
+		for i := 2; i < n; i++ {
+			inputs[i] = 0.5
+		}
+		worst := core.Fixed{G: graph.Deaf(graph.Complete(n), 0)}
+		for _, eps := range sweepEps {
+			res := d.Run(inputs, worst, 1, eps)
+			t.AddRow(n, eps, approx.Theorem9LowerBound(1, eps), res.DecisionRound, res.Spread,
+				res.EpsAgreement && res.Validity)
+		}
+	}
+	t.Notes = append(t.Notes, "decider rounds = ⌈log2(Δ/ε)⌉: the midpoint decider is optimal in non-split models")
+	return t
+}
+
+func runThm10() *Table {
+	t := &Table{
+		ID:     "THM10/decision-rooted",
+		Title:  "amortized midpoint decider vs Theorem 10 lower bound (Δ=1, Psi model)",
+		Paper:  "Theorem 10: decision time >= (n-2)·log2(Δ/ε); decider uses (n-1)⌈log2(Δ/ε)⌉",
+		Header: []string{"n", "ε", "lower bound (rounds)", "decider rounds", "ratio to bound", "ok"},
+	}
+	for _, n := range []int{4, 6, 8} {
+		contraction := math.Pow(0.5, 1/float64(n-1))
+		d := approx.Decider{Alg: algorithms.AmortizedMidpoint{}, Contraction: contraction}
+		inputs := make([]float64, n)
+		inputs[1] = 1
+		for i := 2; i < n; i++ {
+			inputs[i] = 0.5
+		}
+		for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+			res := d.Run(inputs, core.Cycle{Graphs: graph.PsiFamily(n)}, 1, eps)
+			lb := approx.Theorem10LowerBound(n, 1, eps)
+			ratio := 0.0
+			if lb > 0 {
+				ratio = float64(res.DecisionRound) / lb
+			}
+			t.AddRow(n, eps, lb, res.DecisionRound, ratio, res.EpsAgreement && res.Validity)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"ratio tends to (n-1)/(n-2) as ε -> 0: the multiplicative optimality gap stated in Section 9")
+	return t
+}
+
+func runThm11() *Table {
+	t := &Table{
+		ID:     "THM11/decision-general",
+		Title:  "generic decision-time lower bounds from the alpha-diameter",
+		Paper:  "Theorem 11: decision time >= log_{D+1}(Δ/(εn))",
+		Header: []string{"model", "n", "D", "ε", "generic bound", "specialized bound"},
+	}
+	type entry struct {
+		name        string
+		m           *model.Model
+		specialized func(eps float64) float64
+	}
+	entries := []entry{
+		{"{H0,H1,H2}", model.TwoAgent(), func(eps float64) float64 { return approx.Theorem8LowerBound(1, eps) }},
+		{"deaf(K3)", model.DeafModel(graph.Complete(3)), func(eps float64) float64 { return approx.Theorem9LowerBound(1, eps) }},
+	}
+	for _, e := range entries {
+		dAlpha, finite := e.m.AlphaDiameter()
+		if !finite {
+			panic(fmt.Sprintf("exp: infinite alpha-diameter for %s", e.name))
+		}
+		for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+			t.AddRow(e.name, e.m.N(), dAlpha, eps,
+				approx.Theorem11LowerBound(dAlpha, e.m.N(), 1, eps), e.specialized(eps))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the generic bound is weaker than the specialized Theorems 8/9 (as it must be), but applies to every unsolvable model")
+	return t
+}

@@ -1,0 +1,170 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"A/adversary",
+		"A/depth",
+		"F1/twoagent",
+		"F2/psi",
+		"S/curves",
+		"T1/alphadiam",
+		"T1/asyncgeneral",
+		"T1/asyncround",
+		"T1/n2",
+		"T1/nonsplit",
+		"T1/rooted",
+		"THM10/decision-rooted",
+		"THM11/decision-general",
+		"THM8/decision-n2",
+		"THM9/decision-nonsplit",
+		"X/byzantine",
+		"X/census",
+		"X/continuity",
+		"X/failuremodels",
+		"X/product",
+		"X/topology",
+	}
+	got := exp.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, ok := exp.Find("T1/n2"); !ok {
+		t.Error("Find failed for registered ID")
+	}
+	if _, ok := exp.Find("nope"); ok {
+		t.Error("Find succeeded for unknown ID")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment end-to-end —
+// the repository's integration test — and sanity-checks the rendered
+// output.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-scale; skipped with -short")
+	}
+	for _, e := range exp.All() {
+		e := e
+		t.Run(strings.ReplaceAll(e.ID, "/", "_"), func(t *testing.T) {
+			tbl := e.Run()
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row width %d != header width %d: %v", len(row), len(tbl.Header), row)
+				}
+			}
+			text := tbl.Render()
+			if !strings.Contains(text, e.ID) || !strings.Contains(text, tbl.Header[0]) {
+				t.Errorf("render missing ID or header:\n%s", text)
+			}
+		})
+	}
+}
+
+// TestExperimentVerdicts spot-checks that key experiments report the
+// paper-matching verdicts in their cells.
+func TestExperimentVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-scale; skipped with -short")
+	}
+	e, _ := exp.Find("T1/n2")
+	tbl := e.Run()
+	foundTight := false
+	for _, row := range tbl.Rows {
+		if row[0] == "two-thirds" && row[len(row)-1] == "YES" {
+			foundTight = true
+		}
+	}
+	if !foundTight {
+		t.Errorf("T1/n2 should report two-thirds as tight:\n%s", tbl.Render())
+	}
+
+	e, _ = exp.Find("T1/asyncgeneral")
+	tbl = e.Run()
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("T1/asyncgeneral row not all-equal by f+1: %v", row)
+		}
+	}
+
+	e, _ = exp.Find("F1/twoagent")
+	tbl = e.Run()
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("F1 floor violated in row %v", row)
+		}
+	}
+}
+
+// TestExperimentsDeterministic re-runs a representative subset and checks
+// the rendered output is bit-identical — all experiment randomness is
+// seeded.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale; skipped with -short")
+	}
+	for _, id := range []string{"T1/n2", "X/failuremodels", "S/curves", "X/census"} {
+		e, ok := exp.Find(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		a := e.Run().Render()
+		b := e.Run().Render()
+		if a != b {
+			t.Errorf("%s is not deterministic", id)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &exp.Table{
+		ID:     "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("plain", 1.5)
+	tbl.AddRow("with,comma", `with"quote`)
+	got := tbl.CSV()
+	want := "a,b\nplain,1.5\n\"with,comma\",\"with\"\"quote\"\n# a note\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &exp.Table{
+		ID:     "demo",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+	}
+	tbl.AddRow("xxxxxxxx", 1.5)
+	tbl.AddRow(2, "y")
+	text := tbl.Render()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected render:\n%s", text)
+	}
+	// Column 2 should start at the same offset in header and data rows.
+	head := lines[1]
+	row := lines[3]
+	if strings.Index(head, "long-header") != strings.Index(row, "1.5") {
+		t.Errorf("columns misaligned:\n%s", text)
+	}
+}

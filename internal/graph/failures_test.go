@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSynchronousCrashRoundStructure(t *testing.T) {
+	// n = 4: agent 0 crashed earlier, agent 1 crashes now reaching only
+	// agent 2.
+	g, err := SynchronousCrashRound(4, 0b0001, map[int]uint64{1: 1 << 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody hears agent 0 (except its mandatory self-loop).
+	for j := 1; j < 4; j++ {
+		if g.HasEdge(0, j) {
+			t.Errorf("agent %d hears crashed agent 0", j)
+		}
+	}
+	// Only agent 2 hears the crashing agent 1.
+	if !g.HasEdge(1, 2) {
+		t.Error("agent 2 should hear crashing agent 1")
+	}
+	if g.HasEdge(1, 3) || g.HasEdge(1, 0) {
+		t.Error("agents other than 2 should not hear crashing agent 1")
+	}
+	// Correct agents 2, 3 are heard by everyone.
+	for _, i := range []int{2, 3} {
+		for j := 0; j < 4; j++ {
+			if !g.HasEdge(i, j) {
+				t.Errorf("agent %d does not hear correct agent %d", j, i)
+			}
+		}
+	}
+	if !g.IsNonSplit() {
+		t.Error("synchronous crash round should be non-split")
+	}
+	if got := g.CorrectCount(); got != 2 {
+		t.Errorf("CorrectCount = %d, want 2", got)
+	}
+}
+
+func TestSynchronousCrashRoundValidation(t *testing.T) {
+	if _, err := SynchronousCrashRound(3, 1<<5, nil); err == nil {
+		t.Error("out-of-range crashed set accepted")
+	}
+	if _, err := SynchronousCrashRound(3, 0, map[int]uint64{5: 0}); err == nil {
+		t.Error("out-of-range crashing agent accepted")
+	}
+	if _, err := SynchronousCrashRound(3, 0b001, map[int]uint64{0: 0}); err == nil {
+		t.Error("agent both crashed and crashing accepted")
+	}
+	if _, err := SynchronousCrashRound(3, 0, map[int]uint64{0: 1 << 5}); err == nil {
+		t.Error("out-of-range reach set accepted")
+	}
+}
+
+func TestSendOmissionRoundStructure(t *testing.T) {
+	// Agent 0 omits toward 1 and 2; agent 3 omits toward 0.
+	g, err := SendOmissionRound(4, map[int]uint64{0: 0b0110, 3: 0b0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Error("omitted edges present")
+	}
+	if !g.HasEdge(0, 3) {
+		t.Error("non-omitted edge 0->3 missing")
+	}
+	if g.HasEdge(3, 0) {
+		t.Error("omitted edge 3->0 present")
+	}
+	// Self-loops survive even for faulty agents.
+	for i := 0; i < 4; i++ {
+		if !g.HasEdge(i, i) {
+			t.Errorf("self-loop of %d lost", i)
+		}
+	}
+	if !g.IsNonSplit() {
+		t.Error("send-omission round should be non-split")
+	}
+	if _, err := SendOmissionRound(3, map[int]uint64{7: 0}); err == nil {
+		t.Error("out-of-range faulty agent accepted")
+	}
+}
+
+// TestFailureModelGraphsAreNonSplit is the paper's property (i): the
+// per-round graphs of synchronous crashes, synchronous send omissions,
+// and asynchronous minority crashes are all non-split (and hence rooted).
+func TestFailureModelGraphsAreNonSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6)
+		fPrior := rng.Intn(n / 2)
+		f := rng.Intn(n - fPrior - 1)
+		if g := RandomSynchronousCrashRound(rng, n, fPrior, f); !g.IsNonSplit() {
+			t.Fatalf("crash round splits: n=%d %v", n, g)
+		}
+		if g := RandomSendOmissionRound(rng, n, n-1); !g.IsNonSplit() {
+			t.Fatalf("omission round splits: n=%d %v", n, g)
+		}
+		fa := rng.Intn((n+1)/2 - 0) // 0 .. ceil(n/2)-1, keeps 2f < n
+		if 2*fa >= n {
+			fa = (n - 1) / 2
+		}
+		if g := RandomAsyncMinorityCrashRound(rng, n, fa); !g.IsNonSplit() {
+			t.Fatalf("async minority round splits: n=%d f=%d %v", n, fa, g)
+		}
+	}
+}
+
+// TestAsyncMinorityQuorumSizes checks the async-minority generator honors
+// the quorum discipline: every agent hears itself and at least n-f agents
+// in total.
+func TestAsyncMinorityQuorumSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(7)
+		f := rng.Intn((n - 1) / 2)
+		g := RandomAsyncMinorityCrashRound(rng, n, f)
+		if g.MinInDegree() < n-f {
+			t.Fatalf("n=%d f=%d: quorum too small: %d", n, f, g.MinInDegree())
+		}
+		for i := 0; i < n; i++ {
+			if !g.HasEdge(i, i) {
+				t.Fatalf("self-loop lost at %d", i)
+			}
+		}
+	}
+}
+
+// TestFailureGraphsNonSplitQuick is the quick-check variant over the
+// whole failure family with arbitrary seeds.
+func TestFailureGraphsNonSplitQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		g1 := RandomSynchronousCrashRound(rng, n, 0, n-1)
+		g2 := RandomSendOmissionRound(rng, n, n-1)
+		return g1.IsNonSplit() && g1.IsRooted() && g2.IsNonSplit() && g2.IsRooted()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrashRoundBudgetPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("over-budget crash round did not panic")
+		}
+	}()
+	RandomSynchronousCrashRound(rng, 3, 2, 1)
+}

@@ -1,0 +1,524 @@
+// Package graph implements directed communication graphs for round-based
+// dynamic-network models in the style of the Heard-Of model (Charron-Bost,
+// Schiper 2009), as used by Függer, Nowak, Schwarz, "Tight Bounds for
+// Asymptotic and Approximate Consensus" (PODC 2018).
+//
+// A communication graph on n agents (nodes 0..n-1) has a directed edge
+// (i, j) iff agent j receives agent i's message in the given round. Every
+// graph carries a mandatory self-loop at each node: an agent always hears
+// itself (paper, Section 2).
+//
+// Graphs are represented by one in-neighbor bitmask per node, which makes
+// the graph product, root computation, and the non-split predicate
+// word-parallel. The number of agents is capped at MaxNodes = 64.
+//
+// A Graph value is immutable after construction. Use a Builder, one of the
+// named constructors (Complete, Cycle, ...), or the paper-specific families
+// (H, Psi, Deaf, SilenceBlock) to create graphs.
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxNodes is the maximum number of agents supported by the bitmask
+// representation.
+const MaxNodes = 64
+
+// Graph is an immutable directed communication graph with mandatory
+// self-loops. The zero value is not a valid graph; use New or a Builder.
+type Graph struct {
+	n  int
+	in []uint64 // in[j] = bitmask of in-neighbors of j, bit j always set
+}
+
+// fullMask returns the bitmask with bits 0..n-1 set.
+func fullMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// checkN panics unless 1 <= n <= MaxNodes. Invalid sizes are programmer
+// errors, analogous to a negative slice length.
+func checkN(n int) {
+	if n < 1 || n > MaxNodes {
+		panic(fmt.Sprintf("graph: invalid node count %d (want 1..%d)", n, MaxNodes))
+	}
+}
+
+// checkNode panics unless 0 <= i < n.
+func checkNode(n, i int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", i, n))
+	}
+}
+
+// New returns the identity graph on n nodes: self-loops only. In the
+// dynamic-network model this is the round in which nobody hears anybody.
+func New(n int) Graph {
+	checkN(n)
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = 1 << uint(i)
+	}
+	return Graph{n: n, in: in}
+}
+
+// Complete returns the complete communication graph K_n: every agent hears
+// every agent.
+func Complete(n int) Graph {
+	checkN(n)
+	in := make([]uint64, n)
+	all := fullMask(n)
+	for i := range in {
+		in[i] = all
+	}
+	return Graph{n: n, in: in}
+}
+
+// Cycle returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0 (plus
+// self-loops).
+func Cycle(n int) Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Edge(i, (i+1)%n)
+	}
+	return b.Graph()
+}
+
+// PathGraph returns the directed path 0 -> 1 -> ... -> n-1 (plus self-loops).
+func PathGraph(n int) Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.Edge(i, i+1)
+	}
+	return b.Graph()
+}
+
+// Star returns the out-star centered at node c: edges c -> j for all j != c
+// (plus self-loops). The center is the unique root.
+func Star(n, c int) Graph {
+	checkNode(n, c)
+	b := NewBuilder(n)
+	for j := 0; j < n; j++ {
+		if j != c {
+			b.Edge(c, j)
+		}
+	}
+	return b.Graph()
+}
+
+// FromInMasks constructs a graph directly from in-neighbor bitmasks.
+// It returns an error if a mask references a node >= n or misses the
+// mandatory self-loop.
+func FromInMasks(n int, masks []uint64) (Graph, error) {
+	checkN(n)
+	if len(masks) != n {
+		return Graph{}, fmt.Errorf("graph: got %d masks for %d nodes", len(masks), n)
+	}
+	all := fullMask(n)
+	in := make([]uint64, n)
+	for i, m := range masks {
+		if m&^all != 0 {
+			return Graph{}, fmt.Errorf("graph: mask of node %d references nodes >= %d", i, n)
+		}
+		if m&(1<<uint(i)) == 0 {
+			return Graph{}, fmt.Errorf("graph: node %d is missing its self-loop", i)
+		}
+		in[i] = m
+	}
+	return Graph{n: n, in: in}, nil
+}
+
+// FromEdges constructs a graph on n nodes from the given (from, to) edge
+// list. Self-loops are added automatically and need not be listed.
+func FromEdges(n int, edges ...[2]int) (Graph, error) {
+	checkN(n)
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = 1 << uint(i)
+	}
+	for _, e := range edges {
+		from, to := e[0], e[1]
+		if from < 0 || from >= n || to < 0 || to >= n {
+			return Graph{}, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, n)
+		}
+		in[to] |= 1 << uint(from)
+	}
+	return Graph{n: n, in: in}, nil
+}
+
+// MustFromEdges is FromEdges that panics on error; intended for statically
+// known edge lists in tests and examples.
+func MustFromEdges(n int, edges ...[2]int) Graph {
+	g, err := FromEdges(n, edges...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Builder incrementally assembles a Graph. The zero Builder is not usable;
+// call NewBuilder.
+type Builder struct {
+	n  int
+	in []uint64
+}
+
+// NewBuilder returns a Builder for a graph on n nodes, pre-populated with
+// the mandatory self-loops.
+func NewBuilder(n int) *Builder {
+	checkN(n)
+	in := make([]uint64, n)
+	for i := range in {
+		in[i] = 1 << uint(i)
+	}
+	return &Builder{n: n, in: in}
+}
+
+// Edge adds the directed edge from -> to and returns the builder for
+// chaining.
+func (b *Builder) Edge(from, to int) *Builder {
+	checkNode(b.n, from)
+	checkNode(b.n, to)
+	b.in[to] |= 1 << uint(from)
+	return b
+}
+
+// InMask sets the whole in-neighbor mask of node i (the self-loop is forced
+// back on) and returns the builder.
+func (b *Builder) InMask(i int, mask uint64) *Builder {
+	checkNode(b.n, i)
+	b.in[i] = (mask & fullMask(b.n)) | 1<<uint(i)
+	return b
+}
+
+// Graph finalizes the builder. The builder remains usable; the returned
+// graph is an independent snapshot.
+func (b *Builder) Graph() Graph {
+	in := make([]uint64, b.n)
+	copy(in, b.in)
+	return Graph{n: b.n, in: in}
+}
+
+// N returns the number of nodes.
+func (g Graph) N() int { return g.n }
+
+// InMask returns the in-neighbor bitmask of node i (bit i always set).
+func (g Graph) InMask(i int) uint64 {
+	checkNode(g.n, i)
+	return g.in[i]
+}
+
+// HasEdge reports whether the edge from -> to is present.
+func (g Graph) HasEdge(from, to int) bool {
+	checkNode(g.n, from)
+	checkNode(g.n, to)
+	return g.in[to]&(1<<uint(from)) != 0
+}
+
+// In returns the sorted in-neighbors of node i (including i itself).
+func (g Graph) In(i int) []int {
+	checkNode(g.n, i)
+	return maskToNodes(g.in[i])
+}
+
+// Out returns the sorted out-neighbors of node i (including i itself).
+func (g Graph) Out(i int) []int {
+	checkNode(g.n, i)
+	var out []int
+	bit := uint64(1) << uint(i)
+	for j := 0; j < g.n; j++ {
+		if g.in[j]&bit != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// OutMask returns the out-neighbor bitmask of node i.
+func (g Graph) OutMask(i int) uint64 {
+	checkNode(g.n, i)
+	var m uint64
+	bit := uint64(1) << uint(i)
+	for j := 0; j < g.n; j++ {
+		if g.in[j]&bit != 0 {
+			m |= 1 << uint(j)
+		}
+	}
+	return m
+}
+
+// InDegree returns the in-degree of node i (counting the self-loop).
+func (g Graph) InDegree(i int) int {
+	checkNode(g.n, i)
+	return bits.OnesCount64(g.in[i])
+}
+
+// EdgeCount returns the total number of edges, self-loops included.
+func (g Graph) EdgeCount() int {
+	c := 0
+	for _, m := range g.in {
+		c += bits.OnesCount64(m)
+	}
+	return c
+}
+
+// Edges returns all edges (from, to), self-loops excluded, sorted by
+// (from, to).
+func (g Graph) Edges() [][2]int {
+	var edges [][2]int
+	for j := 0; j < g.n; j++ {
+		m := g.in[j] &^ (1 << uint(j))
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+	return edges
+}
+
+// Equal reports whether g and h are the same graph on the same node count.
+func (g Graph) Equal(h Graph) bool {
+	if g.n != h.n {
+		return false
+	}
+	for i := range g.in {
+		if g.in[i] != h.in[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact canonical string identifying the graph, suitable
+// for use as a map key. FromKey inverts it.
+func (g Graph) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:", g.n)
+	for i, m := range g.in {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%x", m)
+	}
+	return sb.String()
+}
+
+// FromKey parses a string produced by Key.
+func FromKey(key string) (Graph, error) {
+	colon := strings.IndexByte(key, ':')
+	if colon < 0 {
+		return Graph{}, fmt.Errorf("graph: malformed key %q", key)
+	}
+	var n int
+	if _, err := fmt.Sscanf(key[:colon], "%d", &n); err != nil {
+		return Graph{}, fmt.Errorf("graph: malformed key %q: %v", key, err)
+	}
+	if n < 1 || n > MaxNodes {
+		return Graph{}, fmt.Errorf("graph: key %q has invalid node count %d", key, n)
+	}
+	parts := strings.Split(key[colon+1:], ",")
+	if len(parts) != n {
+		return Graph{}, fmt.Errorf("graph: key %q has %d masks, want %d", key, len(parts), n)
+	}
+	masks := make([]uint64, n)
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(p, "%x", &masks[i]); err != nil {
+			return Graph{}, fmt.Errorf("graph: malformed mask %q in key: %v", p, err)
+		}
+	}
+	return FromInMasks(n, masks)
+}
+
+// String renders the graph as an edge list, e.g. "G(3){0->1 1->2}"
+// (self-loops omitted).
+func (g Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "G(%d){", g.n)
+	for k, e := range g.Edges() {
+		if k > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d->%d", e[0], e[1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// DOT renders the graph in Graphviz DOT format (self-loops omitted).
+func (g Graph) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %s {\n", name)
+	for i := 0; i < g.n; i++ {
+		fmt.Fprintf(&sb, "  %d;\n", i)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  %d -> %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Product returns the graph product g∘h: edge (i, j) present iff there is a
+// k with (i, k) in g and (k, j) in h. Operationally: information that flows
+// along g in round t and along h in round t+1 flows along g∘h over the two
+// rounds (paper, Section 2).
+func Product(g, h Graph) Graph {
+	if g.n != h.n {
+		panic(fmt.Sprintf("graph: product of mismatched sizes %d and %d", g.n, h.n))
+	}
+	in := make([]uint64, g.n)
+	for j := 0; j < g.n; j++ {
+		var m uint64
+		hm := h.in[j]
+		for hm != 0 {
+			k := bits.TrailingZeros64(hm)
+			hm &= hm - 1
+			m |= g.in[k]
+		}
+		in[j] = m
+	}
+	return Graph{n: g.n, in: in}
+}
+
+// ProductAll folds Product over the given graphs left to right. It panics
+// if no graph is given.
+func ProductAll(gs ...Graph) Graph {
+	if len(gs) == 0 {
+		panic("graph: ProductAll of empty sequence")
+	}
+	p := gs[0]
+	for _, g := range gs[1:] {
+		p = Product(p, g)
+	}
+	return p
+}
+
+// ReachMask returns the bitmask of nodes reachable from i by directed paths
+// (including i itself).
+func (g Graph) ReachMask(i int) uint64 {
+	checkNode(g.n, i)
+	reach := uint64(1) << uint(i)
+	for {
+		next := reach
+		for j := 0; j < g.n; j++ {
+			if next&(1<<uint(j)) == 0 && g.in[j]&reach != 0 {
+				next |= 1 << uint(j)
+			}
+		}
+		if next == reach {
+			return reach
+		}
+		reach = next
+	}
+}
+
+// Roots returns the bitmask of roots: nodes with a directed path to every
+// other node. A graph is rooted iff this is nonempty; the paper writes R(G).
+func (g Graph) Roots() uint64 {
+	all := fullMask(g.n)
+	var roots uint64
+	for i := 0; i < g.n; i++ {
+		if g.ReachMask(i) == all {
+			roots |= 1 << uint(i)
+		}
+	}
+	return roots
+}
+
+// IsRooted reports whether the graph contains a rooted spanning tree, i.e.
+// has at least one root. Asymptotic consensus is solvable in a network
+// model iff all its graphs are rooted (paper, Theorem 1 of Section 2.2).
+func (g Graph) IsRooted() bool { return g.Roots() != 0 }
+
+// IsNonSplit reports whether any two nodes have a common in-neighbor.
+// Non-split graphs arise as communication graphs of benign classical
+// failure models and admit the midpoint algorithm's 1/2 contraction.
+func (g Graph) IsNonSplit() bool {
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if g.in[i]&g.in[j] == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsComplete reports whether every agent hears every agent.
+func (g Graph) IsComplete() bool {
+	all := fullMask(g.n)
+	for _, m := range g.in {
+		if m != all {
+			return false
+		}
+	}
+	return true
+}
+
+// InMaskSet returns the union of in-neighbor masks over the node set S
+// (given as a bitmask); the paper writes In_S(G).
+func (g Graph) InMaskSet(s uint64) uint64 {
+	var m uint64
+	for i := 0; i < g.n; i++ {
+		if s&(1<<uint(i)) != 0 {
+			m |= g.in[i]
+		}
+	}
+	return m
+}
+
+// InsOn reports whether g and h assign identical in-neighborhoods to every
+// node in the set S (bitmask). This is the building block of the alpha
+// relation of Coulouma et al. used in Section 7 of the paper.
+func InsOn(g, h Graph, s uint64) bool {
+	if g.n != h.n {
+		return false
+	}
+	for i := 0; i < g.n; i++ {
+		if s&(1<<uint(i)) != 0 && g.in[i] != h.in[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maskToNodes expands a bitmask into a sorted node slice.
+func maskToNodes(m uint64) []int {
+	nodes := make([]int, 0, bits.OnesCount64(m))
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		nodes = append(nodes, i)
+	}
+	return nodes
+}
+
+// MaskToNodes expands a node bitmask into a sorted node slice. Exported for
+// callers that work with Roots or ReachMask results.
+func MaskToNodes(m uint64) []int { return maskToNodes(m) }
+
+// NodesToMask packs a node slice into a bitmask.
+func NodesToMask(nodes []int) uint64 {
+	var m uint64
+	for _, i := range nodes {
+		if i < 0 || i >= MaxNodes {
+			panic(fmt.Sprintf("graph: node %d out of range [0,%d)", i, MaxNodes))
+		}
+		m |= 1 << uint(i)
+	}
+	return m
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// SCCs returns the strongly connected components of the graph in reverse
+// topological order of the condensation (every edge between components
+// goes from a later to an earlier component in the returned slice), each
+// component sorted by node id. Tarjan's algorithm, iterative within the
+// recursion via an explicit low-link stack kept small by n <= 64.
+//
+// SCC structure underlies root analysis: the roots of a graph are exactly
+// the members of the unique source component of the condensation when
+// that component reaches every other component, and there are no roots
+// otherwise. RootsViaSCC implements that characterization; the test suite
+// cross-validates it against the reachability-based Roots.
+func (g Graph) SCCs() [][]int {
+	n := g.n
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	// Out-neighbor masks once, for edge iteration.
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.OutMask(i)
+	}
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		m := out[v]
+		for m != 0 {
+			w := bits.TrailingZeros64(m)
+			m &= m - 1
+			if w == v {
+				continue
+			}
+			if index[w] < 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// RootsViaSCC computes the root set through the condensation: a node is a
+// root iff its component reaches every component, which for a DAG holds
+// iff the component is the unique source and its reachable set covers
+// everything.
+func (g Graph) RootsViaSCC() uint64 {
+	comps := g.SCCs()
+	// Component id per node.
+	id := make([]int, g.n)
+	for ci, comp := range comps {
+		for _, v := range comp {
+			id[v] = ci
+		}
+	}
+	// Sources: components with no incoming edge from another component.
+	incoming := make([]bool, len(comps))
+	for j := 0; j < g.n; j++ {
+		m := g.in[j] &^ (1 << uint(j))
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			if id[i] != id[j] {
+				incoming[id[j]] = true
+			}
+		}
+	}
+	var sources []int
+	for ci, has := range incoming {
+		if !has {
+			sources = append(sources, ci)
+		}
+	}
+	if len(sources) != 1 {
+		return 0 // several sources: nobody reaches everyone
+	}
+	// The single source must reach all nodes.
+	rep := comps[sources[0]][0]
+	if g.ReachMask(rep) != fullMask(g.n) {
+		return 0
+	}
+	var roots uint64
+	for _, v := range comps[sources[0]] {
+		roots |= 1 << uint(v)
+	}
+	return roots
+}

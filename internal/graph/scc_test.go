@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCsExamples(t *testing.T) {
+	// Path: every node its own component, reverse topological order means
+	// the sink comes first.
+	p := PathGraph(3)
+	comps := p.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("path SCCs = %v, want 3 singletons", comps)
+	}
+	if comps[0][0] != 2 || comps[2][0] != 0 {
+		t.Errorf("path SCC order %v, want sink first", comps)
+	}
+	// Cycle: one component.
+	c := Cycle(4)
+	if comps := c.SCCs(); len(comps) != 1 || len(comps[0]) != 4 {
+		t.Errorf("cycle SCCs = %v, want one of size 4", comps)
+	}
+	// Two 2-cycles: two components.
+	g := MustFromEdges(4, [2]int{0, 1}, [2]int{1, 0}, [2]int{2, 3}, [2]int{3, 2})
+	if comps := g.SCCs(); len(comps) != 2 {
+		t.Errorf("two-cycles SCCs = %v, want 2", comps)
+	}
+}
+
+func TestSCCsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		g := Random(rng, n, 0.3)
+		comps := g.SCCs()
+		seen := make([]bool, n)
+		for _, comp := range comps {
+			for _, v := range comp {
+				if seen[v] {
+					t.Fatalf("node %d in two components: %v", v, comps)
+				}
+				seen[v] = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("node %d missing from %v", v, comps)
+			}
+		}
+		// Mutual reachability within components; edges between components
+		// respect reverse topological order.
+		for ci, comp := range comps {
+			for _, u := range comp {
+				for _, v := range comp {
+					if g.ReachMask(u)&(1<<uint(v)) == 0 {
+						t.Fatalf("component %d not strongly connected: %d !-> %d", ci, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRootsViaSCCMatchesRoots cross-validates the two root computations
+// on random graphs — a classic independent-implementations check.
+func TestRootsViaSCCMatchesRoots(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		g := Random(rng, n, rng.Float64()*0.6)
+		return g.Roots() == g.RootsViaSCC()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// And on the paper's families.
+	fams := []Graph{H(0), H(1), H(2), Psi(5, 0), Psi(6, 2), Deaf(Complete(4), 1),
+		SilenceBlock(6, 2, 1), Star(5, 3), Cycle(5), PathGraph(4), New(3), Complete(6)}
+	for _, g := range fams {
+		if g.Roots() != g.RootsViaSCC() {
+			t.Errorf("root mismatch on %v: %b vs %b", g, g.Roots(), g.RootsViaSCC())
+		}
+	}
+}
+
+func TestSCCReverseTopologicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		g := Random(rng, n, 0.3)
+		comps := g.SCCs()
+		pos := make([]int, n)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				pos[v] = ci
+			}
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] < pos[e[1]] {
+				t.Fatalf("edge %v goes from earlier to later component in %v of %v", e, comps, g)
+			}
+		}
+	}
+}

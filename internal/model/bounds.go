@@ -1,0 +1,193 @@
+package model
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Bound is a contraction-rate lower bound derived for a model, together
+// with the theorem that justifies it.
+type Bound struct {
+	// Rate is the proven lower bound on the contraction rate of every
+	// asymptotic consensus algorithm in the model (0 means no nontrivial
+	// bound, which by the paper happens exactly when exact consensus is
+	// solvable).
+	Rate float64
+	// Theorem names the paper result the bound comes from.
+	Theorem string
+	// Detail is a human-readable justification (e.g. the alpha-diameter).
+	Detail string
+}
+
+// ContainsHFamily reports whether the two-agent model contains all three
+// rooted graphs H0, H1, H2 of Figure 1.
+func (m *Model) ContainsHFamily() bool {
+	if m.n != 2 {
+		return false
+	}
+	for _, h := range graph.HFamily() {
+		if !m.Contains(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPsiFamily reports whether the model contains the three Psi
+// graphs of Figure 2.
+func (m *Model) ContainsPsiFamily() bool {
+	if m.n < 4 {
+		return false
+	}
+	for _, psi := range graph.PsiFamily(m.n) {
+		if !m.Contains(psi) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeafTriple is a witness for the Theorem 2 hypothesis: three model graphs
+// F_a, F_b, F_c that are the deaf-at-a, deaf-at-b, deaf-at-c members of
+// deaf(G) for a single (possibly non-member) base graph G.
+type DeafTriple struct {
+	Agents [3]int
+	Graphs [3]graph.Graph
+}
+
+// FindDeafTriple searches the model for a deaf triple. The paper notes
+// (end of Section 5) that the 1/2 bound already follows from three
+// members F_i, F_j, F_l of some deaf(G); consistency with a common base G
+// means: F_x is deaf at x, the graphs agree on every row outside
+// {a, b, c}, and each row x in {a, b, c} agrees between the two graphs
+// that are not deaf at x.
+func (m *Model) FindDeafTriple() (DeafTriple, bool) {
+	if m.n < 3 {
+		return DeafTriple{}, false
+	}
+	type deafGraph struct {
+		agent int
+		g     graph.Graph
+	}
+	var deaf []deafGraph
+	for _, g := range m.graphs {
+		for i := 0; i < m.n; i++ {
+			if g.IsDeaf(i) {
+				deaf = append(deaf, deafGraph{agent: i, g: g})
+			}
+		}
+	}
+	consistentPair := func(x, y deafGraph) bool {
+		if x.agent == y.agent {
+			return false
+		}
+		for row := 0; row < m.n; row++ {
+			if row == x.agent || row == y.agent {
+				continue
+			}
+			if x.g.InMask(row) != y.g.InMask(row) {
+				return false
+			}
+		}
+		return true
+	}
+	for a := 0; a < len(deaf); a++ {
+		for b := a + 1; b < len(deaf); b++ {
+			if !consistentPair(deaf[a], deaf[b]) {
+				continue
+			}
+			for c := b + 1; c < len(deaf); c++ {
+				if deaf[c].agent == deaf[a].agent || deaf[c].agent == deaf[b].agent {
+					continue
+				}
+				if consistentPair(deaf[a], deaf[c]) && consistentPair(deaf[b], deaf[c]) {
+					return DeafTriple{
+						Agents: [3]int{deaf[a].agent, deaf[b].agent, deaf[c].agent},
+						Graphs: [3]graph.Graph{deaf[a].g, deaf[b].g, deaf[c].g},
+					}, true
+				}
+			}
+		}
+	}
+	return DeafTriple{}, false
+}
+
+// ContractionLowerBound derives the strongest contraction-rate lower bound
+// the paper proves for this model:
+//
+//   - rate 0 if exact consensus is solvable (reduction noted before
+//     Definition 22);
+//   - 1/3 for two-agent models containing {H0, H1, H2} (Theorem 1);
+//   - 1/2 for models of n >= 3 agents containing a deaf triple
+//     (Theorem 2);
+//   - (1/2)^(1/(n-2)) for models of n >= 4 agents containing the Psi
+//     graphs (Theorem 3);
+//   - otherwise 1/(D+1) where D is the smallest alpha-diameter over the
+//     full model and every source-incompatible beta-class, per Theorem 5
+//     and Corollary 23. (Corollary 23 quantifies over all unsolvable
+//     sub-models; source-incompatible beta-classes are the canonical
+//     witnesses — each is unsolvable by Lemma 17 + Theorem 19 — so this
+//     is a sound, if not always optimal, instantiation.)
+//
+// For models that are not rooted, asymptotic consensus is unsolvable
+// (Section 2.2, Theorem 1), so there is no algorithm to bound: the rate 1
+// is returned with the "vacuous" marker — every statement about all
+// algorithms holds vacuously.
+//
+// The returned rate is always a valid lower bound; when several cases
+// apply, the largest rate is reported.
+func (m *Model) ContractionLowerBound() Bound {
+	if !m.IsRooted() {
+		return Bound{Rate: 1, Theorem: "vacuous",
+			Detail: "model not rooted: asymptotic consensus unsolvable, no algorithm to bound"}
+	}
+	if m.ExactConsensusSolvable() {
+		return Bound{Rate: 0, Theorem: "Theorem 19 (Coulouma et al.)",
+			Detail: "exact consensus solvable: contraction rate 0 by reduction"}
+	}
+	best := Bound{Rate: 0, Theorem: "none", Detail: "no applicable bound"}
+	consider := func(b Bound) {
+		if b.Rate > best.Rate {
+			best = b
+		}
+	}
+	if m.ContainsHFamily() {
+		consider(Bound{Rate: 1.0 / 3.0, Theorem: "Theorem 1",
+			Detail: "n = 2 and model contains {H0, H1, H2}"})
+	}
+	if m.n >= 3 {
+		if triple, ok := m.FindDeafTriple(); ok {
+			consider(Bound{Rate: 0.5, Theorem: "Theorem 2",
+				Detail: formatDeafDetail(triple)})
+		}
+	}
+	if m.ContainsPsiFamily() {
+		consider(Bound{Rate: math.Pow(0.5, 1/float64(m.n-2)), Theorem: "Theorem 3",
+			Detail: "model contains the Psi graphs of Figure 2"})
+	}
+	if d, finite := m.AlphaDiameter(); finite {
+		consider(Bound{Rate: 1 / float64(d+1), Theorem: "Theorem 5",
+			Detail: formatAlphaDetail(d, "full model")})
+	}
+	for _, class := range m.BetaClasses() {
+		if !m.SourceIncompatible(class) {
+			continue
+		}
+		if d, finite := m.alphaDiameterWithin(class, class); finite {
+			consider(Bound{Rate: 1 / float64(d+1), Theorem: "Corollary 23",
+				Detail: formatAlphaDetail(d, "source-incompatible beta-class")})
+		}
+	}
+	return best
+}
+
+func formatDeafDetail(t DeafTriple) string {
+	return "model contains a deaf triple at agents " +
+		strconv.Itoa(t.Agents[0]) + ", " + strconv.Itoa(t.Agents[1]) + ", " + strconv.Itoa(t.Agents[2])
+}
+
+func formatAlphaDetail(d int, scope string) string {
+	return "alpha-diameter D = " + strconv.Itoa(d) + " of " + scope + ": bound 1/(D+1)"
+}

@@ -1,0 +1,359 @@
+// Package model implements network models — sets of communication graphs
+// from which a dynamic-network adversary picks one graph per round — and
+// the solvability machinery of Section 7 of Függer, Nowak, Schwarz,
+// "Tight Bounds for Asymptotic and Approximate Consensus" (PODC 2018):
+//
+//   - the alpha relation of Coulouma, Godard, Peters (Definition 15),
+//   - its transitive closure and the alpha-diameter (Definition 22),
+//   - the beta equivalence classes (Definition 16) and
+//     source-incompatibility (Definition 18),
+//   - the exact-consensus solvability test (Theorem 19), and
+//   - the contraction-rate lower-bound selector that combines Theorems 1,
+//     2, 3, 5 and Corollary 23.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Model is an immutable, deduplicated set of communication graphs on a
+// common node count. The adversary of the dynamic-network model picks an
+// arbitrary member in every round.
+type Model struct {
+	n      int
+	graphs []graph.Graph
+	index  map[string]int
+}
+
+// New builds a model from the given graphs, deduplicating them and
+// preserving first-occurrence order. It returns an error if the set is
+// empty or the node counts disagree.
+func New(gs ...graph.Graph) (*Model, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("model: empty graph set")
+	}
+	n := gs[0].N()
+	m := &Model{n: n, index: make(map[string]int)}
+	for _, g := range gs {
+		if g.N() != n {
+			return nil, fmt.Errorf("model: node count mismatch: %d vs %d", g.N(), n)
+		}
+		k := g.Key()
+		if _, dup := m.index[k]; dup {
+			continue
+		}
+		m.index[k] = len(m.graphs)
+		m.graphs = append(m.graphs, g)
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error; for statically known models.
+func MustNew(gs ...graph.Graph) *Model {
+	m, err := New(gs...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// N returns the number of agents.
+func (m *Model) N() int { return m.n }
+
+// Size returns the number of distinct graphs.
+func (m *Model) Size() int { return len(m.graphs) }
+
+// Graph returns the i-th graph in deterministic model order.
+func (m *Model) Graph(i int) graph.Graph { return m.graphs[i] }
+
+// Graphs returns a copy of the graph list.
+func (m *Model) Graphs() []graph.Graph {
+	out := make([]graph.Graph, len(m.graphs))
+	copy(out, m.graphs)
+	return out
+}
+
+// Contains reports whether g is a member of the model.
+func (m *Model) Contains(g graph.Graph) bool {
+	_, ok := m.index[g.Key()]
+	return ok
+}
+
+// Index returns the position of g in the model, or -1.
+func (m *Model) Index(g graph.Graph) int {
+	if i, ok := m.index[g.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// IsRooted reports whether every member graph is rooted. By Theorem 1 of
+// Charron-Bost et al. (restated as Section 2.2, Theorem 1 in the paper),
+// asymptotic consensus is solvable in the model iff this holds.
+func (m *Model) IsRooted() bool {
+	for _, g := range m.graphs {
+		if !g.IsRooted() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonSplit reports whether every member graph is non-split.
+func (m *Model) IsNonSplit() bool {
+	for _, g := range m.graphs {
+		if !g.IsNonSplit() {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub returns the sub-model consisting of the graphs at the given indices.
+func (m *Model) Sub(indices []int) *Model {
+	gs := make([]graph.Graph, 0, len(indices))
+	for _, i := range indices {
+		gs = append(gs, m.graphs[i])
+	}
+	sub, err := New(gs...)
+	if err != nil {
+		panic(fmt.Sprintf("model: Sub on invalid index set: %v", err))
+	}
+	return sub
+}
+
+// String lists the member graphs.
+func (m *Model) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Model(n=%d, %d graphs){", m.n, len(m.graphs))
+	for i, g := range m.graphs {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(g.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// AlphaRelated reports g alpha_{N,K} h: g and h assign the same
+// in-neighborhoods to every root of k (Definition 15). The relation is
+// reflexive and symmetric; the model only contributes the requirement
+// k ∈ N, which the caller asserts by passing a member graph.
+func AlphaRelated(g, h, k graph.Graph) bool {
+	return graph.InsOn(g, h, k.Roots())
+}
+
+// alphaAdjacency returns the adjacency matrix of the one-step alpha
+// relation over model indices, using the allowed witness indices.
+// adj[i][j] iff exists witness k in witnesses with graphs[i] alpha_{.,k}
+// graphs[j].
+func (m *Model) alphaAdjacency(members, witnesses []int) [][]bool {
+	pos := make(map[int]int, len(members))
+	for p, i := range members {
+		pos[i] = p
+	}
+	rootMasks := make([]uint64, 0, len(witnesses))
+	for _, k := range witnesses {
+		rootMasks = append(rootMasks, m.graphs[k].Roots())
+	}
+	adj := make([][]bool, len(members))
+	for a := range adj {
+		adj[a] = make([]bool, len(members))
+	}
+	for a, i := range members {
+		adj[a][a] = true
+		for b := a + 1; b < len(members); b++ {
+			j := members[b]
+			for _, roots := range rootMasks {
+				if graph.InsOn(m.graphs[i], m.graphs[j], roots) {
+					adj[a][b] = true
+					adj[b][a] = true
+					break
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// AlphaClasses returns the partition of the model into connected
+// components of the alpha* relation (transitive closure of the union of
+// alpha_{N,K} over K in N). Classes are sorted by smallest member index.
+func (m *Model) AlphaClasses() [][]int {
+	all := m.allIndices()
+	adj := m.alphaAdjacency(all, all)
+	return components(adj, all)
+}
+
+// AlphaDiameter returns the alpha-diameter of the model (Definition 22):
+// the smallest D such that any two member graphs are joined by an
+// alpha-chain of length at most D with all chain members and witnesses in
+// the model. finite is false when the model is not alpha*-connected, in
+// which case the paper sets D = infinity.
+func (m *Model) AlphaDiameter() (d int, finite bool) {
+	all := m.allIndices()
+	return m.alphaDiameterWithin(all, all)
+}
+
+// alphaDiameterWithin computes the diameter of the one-step alpha graph
+// restricted to members, with witnesses drawn from the witness set, via
+// BFS from every member.
+func (m *Model) alphaDiameterWithin(members, witnesses []int) (int, bool) {
+	adj := m.alphaAdjacency(members, witnesses)
+	n := len(members)
+	maxDist := 0
+	for s := 0; s < n; s++ {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if adj[u][v] && dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, dv := range dist {
+			if dv < 0 {
+				return 0, false
+			}
+			if dv > maxDist {
+				maxDist = dv
+			}
+		}
+	}
+	if maxDist < 1 {
+		maxDist = 1 // Definition 22 requires D >= 1.
+	}
+	return maxDist, true
+}
+
+// BetaClasses returns the beta-equivalence classes of the model
+// (Definition 16): the coarsest equivalence relation included in alpha*
+// satisfying the closure property that any two related graphs are joined
+// by an alpha-chain whose members and witnesses all lie in the same class.
+//
+// The computation is the standard greatest-fixpoint refinement: start from
+// the alpha*-classes and repeatedly split each class into the connected
+// components of the one-step alpha relation that only uses witnesses from
+// the class itself, until stable. Classes only ever shrink, so the loop
+// terminates; the result satisfies the closure property by construction
+// and is coarsest because every relation satisfying the property is
+// preserved by each refinement step.
+func (m *Model) BetaClasses() [][]int {
+	classes := m.AlphaClasses()
+	for {
+		var next [][]int
+		changed := false
+		for _, class := range classes {
+			adj := m.alphaAdjacency(class, class)
+			comps := components(adj, class)
+			if len(comps) > 1 {
+				changed = true
+			}
+			next = append(next, comps...)
+		}
+		classes = next
+		if !changed {
+			sortClasses(classes)
+			return classes
+		}
+	}
+}
+
+// SourceIncompatible reports whether the sub-model given by the indices is
+// source-incompatible (Definition 18): the intersection of the root sets
+// of its graphs is empty.
+func (m *Model) SourceIncompatible(indices []int) bool {
+	inter := ^uint64(0)
+	for _, i := range indices {
+		inter &= m.graphs[i].Roots()
+	}
+	return inter == 0
+}
+
+// CommonRoots returns the bitmask of agents that are roots of every graph
+// in the index set.
+func (m *Model) CommonRoots(indices []int) uint64 {
+	inter := ^uint64(0)
+	for _, i := range indices {
+		inter &= m.graphs[i].Roots()
+	}
+	if len(indices) == 0 {
+		return 0
+	}
+	return inter & rootUniverse(m.n)
+}
+
+// ExactConsensusSolvable decides exact consensus solvability in the model
+// via Theorem 19 (the generalization of Coulouma et al., Theorem 4.10):
+// exact consensus is solvable iff no beta-class is source-incompatible.
+func (m *Model) ExactConsensusSolvable() bool {
+	for _, class := range m.BetaClasses() {
+		if m.SourceIncompatible(class) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Model) allIndices() []int {
+	all := make([]int, len(m.graphs))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func rootUniverse(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// components returns the connected components of an undirected adjacency
+// matrix, translated back to the original index labels, each sorted.
+func components(adj [][]bool, labels []int) [][]int {
+	n := len(labels)
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, labels[u])
+			for v := 0; v < n; v++ {
+				if adj[u][v] && !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sortClasses(comps)
+	return comps
+}
+
+func sortClasses(classes [][]int) {
+	sort.Slice(classes, func(a, b int) bool { return classes[a][0] < classes[b][0] })
+}

@@ -1,0 +1,176 @@
+// Package pattern formalizes Section 6.1 of Függer, Nowak, Schwarz
+// (PODC 2018): the generalization from network models (per-round graph
+// sets) to *properties* — arbitrary sets of communication patterns,
+// including safety/liveness-style constraints that couple rounds.
+//
+// The Theorem 3 lower bound needs this generality: its adversary commits
+// to whole σ_i blocks (n-2 copies of Ψ_i), so the allowed continuations
+// at a given round depend on the position inside the current block —
+// something a memoryless graph set cannot express.
+//
+// A Property here is an effectively-checkable prefix language: it tells
+// which finite graph sequences are prefixes of allowed patterns and which
+// graphs may extend a given prefix. Snapshots pair a configuration with
+// the prefix that produced it, mirroring the paper's S = (C, π).
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Property is a prefix-closed description of a set of communication
+// patterns (the paper's P). Implementations must be deterministic.
+type Property interface {
+	// Name identifies the property.
+	Name() string
+	// N returns the agent count of its patterns.
+	N() int
+	// Extensions returns the graphs that may follow the given prefix; the
+	// prefix is guaranteed to have been built from prior Extensions calls
+	// (or to be empty). An empty result means the prefix is a dead end —
+	// valid properties never produce one on reachable prefixes.
+	Extensions(prefix []graph.Graph) []graph.Graph
+}
+
+// FromModel lifts a network model to the memoryless property containing
+// every pattern over the model's graphs.
+type FromModel struct {
+	Model interface {
+		N() int
+		Graphs() []graph.Graph
+	}
+	Label string
+}
+
+// Name implements Property.
+func (p FromModel) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "model-patterns"
+}
+
+// N implements Property.
+func (p FromModel) N() int { return p.Model.N() }
+
+// Extensions implements Property.
+func (p FromModel) Extensions([]graph.Graph) []graph.Graph { return p.Model.Graphs() }
+
+// SigmaConcatenations is the property P_seq of Section 6.2: all patterns
+// arising from concatenations of σ_i blocks, each block being n-2 copies
+// of one Ψ_i graph. At a block boundary any of the three blocks may
+// start; inside a block the only extension is the block's own Ψ graph.
+type SigmaConcatenations struct {
+	Agents int
+}
+
+// Name implements Property.
+func (p SigmaConcatenations) Name() string { return fmt.Sprintf("P_seq(n=%d)", p.Agents) }
+
+// N implements Property.
+func (p SigmaConcatenations) N() int { return p.Agents }
+
+// Extensions implements Property.
+func (p SigmaConcatenations) Extensions(prefix []graph.Graph) []graph.Graph {
+	n := p.Agents
+	blockLen := n - 2
+	pos := len(prefix) % blockLen
+	if pos == 0 {
+		return graph.PsiFamily(n)
+	}
+	// Inside a block: must repeat the block's graph, which is the one the
+	// block started with.
+	start := prefix[len(prefix)-pos]
+	return []graph.Graph{start}
+}
+
+// Member reports whether the given finite sequence is a valid prefix of
+// the property, by replaying it against Extensions.
+func Member(p Property, prefix []graph.Graph) bool {
+	for i, g := range prefix {
+		ok := false
+		for _, e := range p.Extensions(prefix[:i]) {
+			if e.Equal(g) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot is the paper's S = (C, π): a configuration together with the
+// finite graph sequence that produced it.
+type Snapshot struct {
+	Config *Configuration
+	Prefix []graph.Graph
+}
+
+// Configuration aliases core.Config to keep the package self-describing.
+type Configuration = core.Config
+
+// NewSnapshot returns the initial snapshot of alg on the inputs.
+func NewSnapshot(alg core.Algorithm, inputs []float64) Snapshot {
+	return Snapshot{Config: core.NewConfig(alg, inputs)}
+}
+
+// Step returns G.S = (G.C, π·G). The receiver is unchanged.
+func (s Snapshot) Step(g graph.Graph) Snapshot {
+	prefix := make([]graph.Graph, 0, len(s.Prefix)+1)
+	prefix = append(prefix, s.Prefix...)
+	prefix = append(prefix, g)
+	return Snapshot{Config: s.Config.Step(g), Prefix: prefix}
+}
+
+// StepAll folds Step over a sequence (e.g. a σ block).
+func (s Snapshot) StepAll(gs []graph.Graph) Snapshot {
+	cur := s
+	for _, g := range gs {
+		cur = cur.Step(g)
+	}
+	return cur
+}
+
+// Round returns the prefix length.
+func (s Snapshot) Round() int { return len(s.Prefix) }
+
+// IndistinguishableFor reports whether agent i's observable state (its
+// output) coincides in both snapshots — the practical ~_i proxy used by
+// the Lemma 14 checks.
+func (s Snapshot) IndistinguishableFor(i int, other Snapshot) bool {
+	return s.Config.Output(i) == other.Config.Output(i)
+}
+
+// Source adapts a Property to a core.PatternSource by following a
+// deterministic choice function over the allowed extensions (index into
+// Extensions, clamped). Choice nil always picks extension 0.
+type Source struct {
+	Property Property
+	Choice   func(round int, options []graph.Graph, c *core.Config) int
+
+	prefix []graph.Graph
+}
+
+// Next implements core.PatternSource.
+func (s *Source) Next(round int, c *core.Config) graph.Graph {
+	options := s.Property.Extensions(s.prefix)
+	if len(options) == 0 {
+		panic(fmt.Sprintf("pattern: property %s dead-ends after %d rounds", s.Property.Name(), len(s.prefix)))
+	}
+	idx := 0
+	if s.Choice != nil {
+		idx = s.Choice(round, options, c)
+		if idx < 0 || idx >= len(options) {
+			idx = 0
+		}
+	}
+	g := options[idx]
+	s.prefix = append(s.prefix, g)
+	return g
+}

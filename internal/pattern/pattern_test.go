@@ -1,0 +1,164 @@
+package pattern_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/pattern"
+)
+
+func TestFromModelIsMemoryless(t *testing.T) {
+	p := pattern.FromModel{Model: model.TwoAgent(), Label: "two-agent"}
+	if p.Name() != "two-agent" || p.N() != 2 {
+		t.Fatalf("metadata wrong: %q n=%d", p.Name(), p.N())
+	}
+	empty := p.Extensions(nil)
+	later := p.Extensions([]graph.Graph{graph.H(0), graph.H(2)})
+	if len(empty) != 3 || len(later) != 3 {
+		t.Fatalf("memoryless property changed its extensions: %d vs %d", len(empty), len(later))
+	}
+	if !pattern.Member(p, []graph.Graph{graph.H(1), graph.H(1), graph.H(0)}) {
+		t.Error("valid prefix rejected")
+	}
+	if pattern.Member(p, []graph.Graph{graph.New(2)}) {
+		t.Error("identity graph accepted by the rooted two-agent property")
+	}
+}
+
+func TestSigmaConcatenationsStructure(t *testing.T) {
+	n := 5
+	p := pattern.SigmaConcatenations{Agents: n}
+	if p.N() != n {
+		t.Fatalf("N = %d", p.N())
+	}
+	// At a block boundary: three choices.
+	if got := p.Extensions(nil); len(got) != 3 {
+		t.Fatalf("boundary extensions = %d, want 3", len(got))
+	}
+	// Inside a block: exactly the block's graph.
+	prefix := []graph.Graph{graph.Psi(n, 1)}
+	ext := p.Extensions(prefix)
+	if len(ext) != 1 || !ext[0].Equal(graph.Psi(n, 1)) {
+		t.Fatalf("mid-block extensions = %v", ext)
+	}
+	// A full block later, choices reopen.
+	full := graph.SigmaBlock(n, 1)
+	if got := p.Extensions(full); len(got) != 3 {
+		t.Fatalf("post-block extensions = %d, want 3", len(got))
+	}
+	// Membership: legal concatenation accepted, block-switch mid-block
+	// rejected.
+	legal := append(append([]graph.Graph{}, graph.SigmaBlock(n, 0)...), graph.SigmaBlock(n, 2)...)
+	if !pattern.Member(p, legal) {
+		t.Error("legal sigma concatenation rejected")
+	}
+	illegal := []graph.Graph{graph.Psi(n, 0), graph.Psi(n, 1)}
+	if pattern.Member(p, illegal) {
+		t.Error("mid-block switch accepted")
+	}
+}
+
+func TestSnapshotStepTracksPrefix(t *testing.T) {
+	s := pattern.NewSnapshot(algorithms.Midpoint{}, []float64{0, 1})
+	s1 := s.Step(graph.H(1))
+	s2 := s1.Step(graph.H(0))
+	if s.Round() != 0 || s1.Round() != 1 || s2.Round() != 2 {
+		t.Fatalf("rounds: %d %d %d", s.Round(), s1.Round(), s2.Round())
+	}
+	if !s2.Prefix[0].Equal(graph.H(1)) || !s2.Prefix[1].Equal(graph.H(0)) {
+		t.Errorf("prefix wrong: %v", s2.Prefix)
+	}
+	// Stepping must not mutate the parent snapshot's prefix.
+	_ = s1.Step(graph.H(2))
+	if len(s1.Prefix) != 1 {
+		t.Error("child step mutated parent prefix")
+	}
+	if s.Config.Round() != 0 {
+		t.Error("stepping mutated the origin configuration")
+	}
+}
+
+// TestLemma14ViaSnapshots restates the Lemma 14 check in the paper's own
+// snapshot vocabulary: σ_i.S ~_ℓ σ_j.S for the surviving trio agent ℓ.
+func TestLemma14ViaSnapshots(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = float64(i)
+		}
+		s := pattern.NewSnapshot(algorithms.AmortizedMidpoint{}, inputs)
+		var ends [3]pattern.Snapshot
+		for i := 0; i < 3; i++ {
+			ends[i] = s.StepAll(graph.SigmaBlock(n, i))
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				for l := 0; l < 3; l++ {
+					if i == j || l == i || l == j {
+						continue
+					}
+					if !ends[i].IndistinguishableFor(l, ends[j]) {
+						t.Errorf("n=%d: agent %d distinguishes σ_%d from σ_%d", n, l, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSourceFollowsProperty(t *testing.T) {
+	n := 5
+	p := pattern.SigmaConcatenations{Agents: n}
+	rng := rand.New(rand.NewSource(5))
+	src := &pattern.Source{
+		Property: p,
+		Choice: func(_ int, options []graph.Graph, _ *core.Config) int {
+			return rng.Intn(len(options))
+		},
+	}
+	c := core.NewConfig(algorithms.AmortizedMidpoint{}, []float64{0, 1, 0.5, 0.25, 0.75})
+	var played []graph.Graph
+	for round := 1; round <= 4*(n-2); round++ {
+		g := src.Next(round, c)
+		played = append(played, g)
+		c = c.Step(g)
+	}
+	if !pattern.Member(p, played) {
+		t.Fatalf("source left its property: %v", played)
+	}
+	// Blocks are homogeneous.
+	for b := 0; b < 4; b++ {
+		blk := played[b*(n-2) : (b+1)*(n-2)]
+		for _, g := range blk[1:] {
+			if !g.Equal(blk[0]) {
+				t.Fatalf("block %d not homogeneous", b)
+			}
+		}
+	}
+	// Out-of-range choice indices clamp to 0 rather than panicking.
+	srcBad := &pattern.Source{Property: p, Choice: func(int, []graph.Graph, *core.Config) int { return 99 }}
+	if g := srcBad.Next(1, c); g.N() != n {
+		t.Error("clamped choice failed")
+	}
+}
+
+// TestSigmaPatternsAreRootedPatterns checks the observation opening
+// Section 6: any concatenation of σ blocks is a communication pattern of
+// the rooted network model (every played graph is rooted).
+func TestSigmaPatternsAreRootedPatterns(t *testing.T) {
+	p := pattern.SigmaConcatenations{Agents: 6}
+	src := &pattern.Source{Property: p, Choice: func(r int, options []graph.Graph, _ *core.Config) int {
+		return r % len(options)
+	}}
+	c := core.NewConfig(algorithms.Midpoint{}, make([]float64, 6))
+	for round := 1; round <= 20; round++ {
+		g := src.Next(round, c)
+		if !g.IsRooted() {
+			t.Fatalf("round %d: sigma pattern played unrooted graph %v", round, g)
+		}
+	}
+}

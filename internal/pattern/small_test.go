@@ -1,0 +1,22 @@
+package pattern_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/pattern"
+)
+
+func TestFromModelDefaultName(t *testing.T) {
+	p := pattern.FromModel{Model: model.TwoAgent()}
+	if p.Name() != "model-patterns" {
+		t.Errorf("default name = %q", p.Name())
+	}
+}
+
+func TestSigmaName(t *testing.T) {
+	p := pattern.SigmaConcatenations{Agents: 6}
+	if p.Name() != "P_seq(n=6)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}

@@ -1,0 +1,197 @@
+// Package spec parses the compact command-line descriptions of network
+// models and algorithms shared by the cmd/ tools.
+//
+// Model specs:
+//
+//	twoagent          the Figure 1 model {H0, H1, H2}
+//	deaf:N            deaf(K_N)
+//	psi:N             the Figure 2 model {Psi_0, Psi_1, Psi_2} on N nodes
+//	rooted:N          all rooted graphs on N nodes (N <= 5)
+//	nonsplit:N        all non-split graphs on N nodes (N <= 5)
+//	na:N,F            the full asynchronous-round model N_A(N, F) (small N)
+//	asyncchain:N,F    the Lemma 24 chain sub-model of N_A(N, F)
+//	edges:N;A>B,C>D   a singleton model with the given edge list
+//
+// Algorithm specs:
+//
+//	midpoint | mean | amortized | twothirds | selfweighted:ALPHA |
+//	rb-midpoint | rb-selectedmean:F
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// ParseModel builds a network model from a spec string.
+func ParseModel(s string) (*model.Model, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "twoagent":
+		return model.TwoAgent(), nil
+	case "deaf":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		return model.DeafModel(graph.Complete(n)), nil
+	case "psi":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		if n < 4 {
+			return nil, fmt.Errorf("spec: psi requires n >= 4, got %d", n)
+		}
+		return model.PsiModel(n), nil
+	case "rooted":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		return model.AllRooted(n)
+	case "nonsplit":
+		n, err := parseN(arg)
+		if err != nil {
+			return nil, err
+		}
+		return model.AllNonSplit(n)
+	case "na":
+		n, f, err := parseNF(arg)
+		if err != nil {
+			return nil, err
+		}
+		return model.FullAsyncRound(n, f)
+	case "asyncchain":
+		n, f, err := parseNF(arg)
+		if err != nil {
+			return nil, err
+		}
+		return model.AsyncChain(n, f)
+	case "edges":
+		g, err := ParseGraph(arg)
+		if err != nil {
+			return nil, err
+		}
+		return model.New(g)
+	default:
+		return nil, fmt.Errorf("spec: unknown model %q", name)
+	}
+}
+
+// ParseGraph parses "N;A>B,C>D,..." into a graph with the listed edges.
+func ParseGraph(arg string) (graph.Graph, error) {
+	parts := strings.SplitN(arg, ";", 2)
+	n, err := parseN(parts[0])
+	if err != nil {
+		return graph.Graph{}, err
+	}
+	var edges [][2]int
+	if len(parts) == 2 && parts[1] != "" {
+		for _, e := range strings.Split(parts[1], ",") {
+			ft := strings.SplitN(e, ">", 2)
+			if len(ft) != 2 {
+				return graph.Graph{}, fmt.Errorf("spec: malformed edge %q (want A>B)", e)
+			}
+			from, err := strconv.Atoi(strings.TrimSpace(ft[0]))
+			if err != nil {
+				return graph.Graph{}, fmt.Errorf("spec: edge %q: %v", e, err)
+			}
+			to, err := strconv.Atoi(strings.TrimSpace(ft[1]))
+			if err != nil {
+				return graph.Graph{}, fmt.Errorf("spec: edge %q: %v", e, err)
+			}
+			edges = append(edges, [2]int{from, to})
+		}
+	}
+	return graph.FromEdges(n, edges...)
+}
+
+// ParseAlgorithm builds an algorithm from a spec string. n is the system
+// size (needed for validation only).
+func ParseAlgorithm(s string, n int) (core.Algorithm, error) {
+	name, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, arg = s[:i], s[i+1:]
+	}
+	switch name {
+	case "midpoint":
+		return algorithms.Midpoint{}, nil
+	case "mean":
+		return algorithms.Mean{}, nil
+	case "amortized":
+		return algorithms.AmortizedMidpoint{}, nil
+	case "twothirds":
+		if n != 2 {
+			return nil, fmt.Errorf("spec: twothirds requires n = 2, got %d", n)
+		}
+		return algorithms.TwoThirds{}, nil
+	case "selfweighted":
+		a, err := strconv.ParseFloat(arg, 64)
+		if err != nil || a < 0 || a > 1 {
+			return nil, fmt.Errorf("spec: selfweighted needs alpha in [0,1], got %q", arg)
+		}
+		return algorithms.SelfWeighted{Alpha: a}, nil
+	case "rb-midpoint":
+		return async.AsCoreAlgorithm("rb-midpoint", async.MidpointUpdate), nil
+	case "rb-selectedmean":
+		f, err := strconv.Atoi(arg)
+		if err != nil || f < 1 {
+			return nil, fmt.Errorf("spec: rb-selectedmean needs f >= 1, got %q", arg)
+		}
+		return async.AsCoreAlgorithm(fmt.Sprintf("rb-selected-mean(f=%d)", f), async.SelectedMeanUpdate(f)), nil
+	default:
+		return nil, fmt.Errorf("spec: unknown algorithm %q", name)
+	}
+}
+
+// ParseFloats parses a comma-separated float list.
+func ParseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("spec: empty float list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("spec: bad float %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseN(arg string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("spec: bad node count %q", arg)
+	}
+	return n, nil
+}
+
+func parseNF(arg string) (int, int, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("spec: want N,F, got %q", arg)
+	}
+	n, err := parseN(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil || f < 1 {
+		return 0, 0, fmt.Errorf("spec: bad crash count %q", parts[1])
+	}
+	return n, f, nil
+}

@@ -1,0 +1,118 @@
+package spec_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantN   int
+		wantLen int
+	}{
+		{"twoagent", 2, 3},
+		{"deaf:4", 4, 4},
+		{"psi:5", 5, 3},
+		{"rooted:2", 2, 3},
+		{"nonsplit:2", 2, 3},
+		{"na:4,1", 4, 256},
+		{"edges:3;0>1,1>2", 3, 1},
+	}
+	for _, tc := range cases {
+		m, err := spec.ParseModel(tc.in)
+		if err != nil {
+			t.Errorf("ParseModel(%q): %v", tc.in, err)
+			continue
+		}
+		if m.N() != tc.wantN || m.Size() != tc.wantLen {
+			t.Errorf("ParseModel(%q) = n=%d size=%d, want n=%d size=%d",
+				tc.in, m.N(), m.Size(), tc.wantN, tc.wantLen)
+		}
+	}
+	m, err := spec.ParseModel("asyncchain:6,2")
+	if err != nil {
+		t.Fatalf("asyncchain: %v", err)
+	}
+	if m.N() != 6 || m.Size() < 4 {
+		t.Errorf("asyncchain:6,2 = n=%d size=%d", m.N(), m.Size())
+	}
+	for _, bad := range []string{"", "wat", "deaf:x", "deaf:0", "psi:3", "na:4", "na:4,0",
+		"edges:3;0-1", "edges:3;9>1", "edges:x;0>1", "rooted:9"} {
+		if _, err := spec.ParseModel(bad); err == nil {
+			t.Errorf("ParseModel(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseGraph(t *testing.T) {
+	g, err := spec.ParseGraph("3;0>1,1>2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.MustFromEdges(3, [2]int{0, 1}, [2]int{1, 2})
+	if !g.Equal(want) {
+		t.Errorf("ParseGraph = %v, want %v", g, want)
+	}
+	// No-edge spec yields the identity graph.
+	id, err := spec.ParseGraph("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.Equal(graph.New(2)) {
+		t.Errorf("ParseGraph(\"2\") = %v, want identity", id)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		n    int
+		name string
+	}{
+		{"midpoint", 3, "midpoint"},
+		{"mean", 3, "mean"},
+		{"amortized", 4, "amortized-midpoint"},
+		{"twothirds", 2, "two-thirds"},
+		{"selfweighted:0.25", 3, "self-weighted(0.25)"},
+		{"rb-midpoint", 4, "rb-midpoint"},
+		{"rb-selectedmean:2", 6, "rb-selected-mean(f=2)"},
+	} {
+		alg, err := spec.ParseAlgorithm(tc.in, tc.n)
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", tc.in, err)
+			continue
+		}
+		if alg.Name() != tc.name {
+			t.Errorf("ParseAlgorithm(%q).Name = %q, want %q", tc.in, alg.Name(), tc.name)
+		}
+	}
+	for _, bad := range []struct {
+		in string
+		n  int
+	}{
+		{"nope", 3}, {"twothirds", 3}, {"selfweighted:2", 3},
+		{"selfweighted:x", 3}, {"rb-selectedmean:0", 4},
+	} {
+		if _, err := spec.ParseAlgorithm(bad.in, bad.n); err == nil {
+			t.Errorf("ParseAlgorithm(%q, n=%d) succeeded, want error", bad.in, bad.n)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := spec.ParseFloats("0, 1, 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 0.5 {
+		t.Errorf("ParseFloats = %v", got)
+	}
+	for _, bad := range []string{"", "a,b", "1,,2"} {
+		if _, err := spec.ParseFloats(bad); err == nil {
+			t.Errorf("ParseFloats(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package vector lifts the one-dimensional consensus machinery to
+// d-dimensional values. The paper states asymptotic consensus in R^d
+// (Section 2.1) and notes that its algorithms and bounds are effective in
+// dimension one — higher-dimensional inputs embed into a line for the
+// lower bounds, and coordinate-wise execution lifts the convex combination
+// algorithms for the upper bounds (validity then holds with respect to the
+// axis-aligned bounding box, which contains the convex hull's extent per
+// coordinate).
+//
+// Runner executes one core.Algorithm instance per coordinate, feeding all
+// of them the same communication pattern — exactly what a d-dimensional
+// agent running the algorithm on each coordinate would do.
+package vector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Point is a d-dimensional value.
+type Point []float64
+
+// Clone returns an independent copy.
+func (p Point) Clone() Point {
+	cp := make(Point, len(p))
+	copy(cp, p)
+	return cp
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = p[i] - q[i]
+	}
+	return out
+}
+
+// Norm returns the Euclidean norm.
+func (p Point) Norm() float64 {
+	sum := 0.0
+	for _, v := range p {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 { return p.Sub(q).Norm() }
+
+// Diameter returns the largest pairwise Euclidean distance, the paper's
+// diam over R^d.
+func Diameter(points []Point) float64 {
+	d := 0.0
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if x := Dist(points[i], points[j]); x > d {
+				d = x
+			}
+		}
+	}
+	return d
+}
+
+// BoundingBox returns per-coordinate [lo, hi] hulls of the points.
+func BoundingBox(points []Point) (lo, hi Point) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	dim := len(points[0])
+	lo, hi = points[0].Clone(), points[0].Clone()
+	for _, p := range points[1:] {
+		if len(p) != dim {
+			panic("vector: ragged point set")
+		}
+		for c := 0; c < dim; c++ {
+			lo[c] = math.Min(lo[c], p[c])
+			hi[c] = math.Max(hi[c], p[c])
+		}
+	}
+	return lo, hi
+}
+
+// InBox reports whether p lies in the axis-aligned box [lo, hi], within
+// tolerance tol.
+func InBox(p, lo, hi Point, tol float64) bool {
+	for c := range p {
+		if p[c] < lo[c]-tol || p[c] > hi[c]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Runner executes a scalar consensus algorithm coordinate-wise on
+// d-dimensional inputs under a single shared communication pattern.
+type Runner struct {
+	alg     core.Algorithm
+	dim     int
+	configs []*core.Config // one per coordinate
+}
+
+// NewRunner builds the per-coordinate configurations from the initial
+// points (one per agent; all points must share a dimension >= 1).
+func NewRunner(alg core.Algorithm, inputs []Point) (*Runner, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("vector: no agents")
+	}
+	dim := len(inputs[0])
+	if dim < 1 {
+		return nil, fmt.Errorf("vector: zero-dimensional inputs")
+	}
+	for i, p := range inputs {
+		if len(p) != dim {
+			return nil, fmt.Errorf("vector: agent %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	configs := make([]*core.Config, dim)
+	for c := 0; c < dim; c++ {
+		coords := make([]float64, len(inputs))
+		for i, p := range inputs {
+			coords[i] = p[c]
+		}
+		configs[c] = core.NewConfig(alg, coords)
+	}
+	return &Runner{alg: alg, dim: dim, configs: configs}, nil
+}
+
+// Dim returns the value dimension.
+func (r *Runner) Dim() int { return r.dim }
+
+// N returns the number of agents.
+func (r *Runner) N() int { return r.configs[0].N() }
+
+// Round returns the number of completed rounds.
+func (r *Runner) Round() int { return r.configs[0].Round() }
+
+// Step applies one round with communication graph g to every coordinate.
+func (r *Runner) Step(g graph.Graph) {
+	for c := range r.configs {
+		r.configs[c] = r.configs[c].Step(g)
+	}
+}
+
+// Run applies rounds drawn from src.
+func (r *Runner) Run(src core.PatternSource, rounds int) {
+	for t := 0; t < rounds; t++ {
+		r.Step(src.Next(r.Round()+1, r.configs[0]))
+	}
+}
+
+// Positions returns the agents' current d-dimensional values.
+func (r *Runner) Positions() []Point {
+	n := r.N()
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		p := make(Point, r.dim)
+		for c := 0; c < r.dim; c++ {
+			p[c] = r.configs[c].Output(i)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Diameter returns the current Euclidean diameter of the agents' values.
+func (r *Runner) Diameter() float64 { return Diameter(r.Positions()) }

@@ -1,0 +1,185 @@
+package vector_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/vector"
+)
+
+func TestPointOps(t *testing.T) {
+	p := vector.Point{3, 4}
+	q := vector.Point{0, 0}
+	if p.Norm() != 5 {
+		t.Errorf("Norm = %v, want 5", p.Norm())
+	}
+	if vector.Dist(p, q) != 5 {
+		t.Errorf("Dist = %v, want 5", vector.Dist(p, q))
+	}
+	d := p.Sub(q)
+	if d[0] != 3 || d[1] != 4 {
+		t.Errorf("Sub = %v", d)
+	}
+	cl := p.Clone()
+	cl[0] = 99
+	if p[0] != 3 {
+		t.Error("Clone shares storage")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dimension mismatch did not panic")
+			}
+		}()
+		p.Sub(vector.Point{1})
+	}()
+}
+
+func TestDiameterAndBox(t *testing.T) {
+	pts := []vector.Point{{0, 0}, {3, 4}, {1, 1}}
+	if got := vector.Diameter(pts); got != 5 {
+		t.Errorf("Diameter = %v, want 5", got)
+	}
+	lo, hi := vector.BoundingBox(pts)
+	if lo[0] != 0 || lo[1] != 0 || hi[0] != 3 || hi[1] != 4 {
+		t.Errorf("BoundingBox = %v %v", lo, hi)
+	}
+	if !vector.InBox(vector.Point{1, 2}, lo, hi, 0) {
+		t.Error("InBox false for interior point")
+	}
+	if vector.InBox(vector.Point{4, 0}, lo, hi, 0) {
+		t.Error("InBox true for exterior point")
+	}
+	if vector.Diameter(nil) != 0 {
+		t.Error("Diameter(nil) != 0")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := vector.NewRunner(algorithms.Midpoint{}, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := vector.NewRunner(algorithms.Midpoint{}, []vector.Point{{}}); err == nil {
+		t.Error("zero-dimensional input accepted")
+	}
+	if _, err := vector.NewRunner(algorithms.Midpoint{}, []vector.Point{{1, 2}, {3}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestRunnerMatchesScalarPerCoordinate(t *testing.T) {
+	inputs := []vector.Point{{0, 10}, {1, 20}, {0.5, 12}}
+	r, err := vector.NewRunner(algorithms.Midpoint{}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []graph.Graph{graph.Complete(3), graph.Star(3, 1), graph.Cycle(3)}
+	r.Run(core.Sequence{Graphs: pattern}, 3)
+
+	// Scalar references per coordinate.
+	for c := 0; c < 2; c++ {
+		coords := make([]float64, 3)
+		for i, p := range inputs {
+			coords[i] = p[c]
+		}
+		tr := core.Run(algorithms.Midpoint{}, coords, core.Sequence{Graphs: pattern}, 3)
+		for i := 0; i < 3; i++ {
+			if got := r.Positions()[i][c]; got != tr.Outputs[3][i] {
+				t.Errorf("coord %d agent %d: vector %v, scalar %v", c, i, got, tr.Outputs[3][i])
+			}
+		}
+	}
+	if r.Round() != 3 || r.N() != 3 || r.Dim() != 2 {
+		t.Errorf("Round/N/Dim = %d/%d/%d", r.Round(), r.N(), r.Dim())
+	}
+}
+
+// TestRendezvousConvergesInBox is the property the rendezvous example
+// relies on: under non-split patterns, coordinate-wise midpoint drives all
+// points to a common location inside the initial bounding box, with
+// Euclidean diameter at most halving per round (each coordinate halves).
+func TestRendezvousConvergesInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		dim := 1 + rng.Intn(3)
+		inputs := make([]vector.Point, n)
+		for i := range inputs {
+			p := make(vector.Point, dim)
+			for c := range p {
+				p[c] = rng.Float64() * 10
+			}
+			inputs[i] = p
+		}
+		lo, hi := vector.BoundingBox(inputs)
+		r, err := vector.NewRunner(algorithms.Midpoint{}, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each coordinate's range halves per non-split round, so the
+		// Euclidean diameter is bounded by the norm of the coordinate
+		// ranges, which halves per round. (The raw pairwise diameter need
+		// not halve monotonically — only this envelope does.)
+		envelope := func() float64 {
+			blo, bhi := vector.BoundingBox(r.Positions())
+			return bhi.Sub(blo).Norm()
+		}
+		prevEnv := envelope()
+		for round := 0; round < 20; round++ {
+			r.Step(graph.RandomNonSplit(rng, n, 0.3))
+			env := envelope()
+			if prevEnv > 0 && env > prevEnv*0.5+1e-9 {
+				t.Fatalf("trial %d round %d: range envelope %v did not halve from %v",
+					trial, round, env, prevEnv)
+			}
+			if d := r.Diameter(); d > env+1e-9 {
+				t.Fatalf("trial %d round %d: diameter %v exceeds envelope %v", trial, round, d, env)
+			}
+			prevEnv = env
+		}
+		if d := r.Diameter(); d > 1e-4 {
+			t.Errorf("trial %d: did not converge, diameter %v", trial, d)
+		}
+		for _, p := range r.Positions() {
+			if !vector.InBox(p, lo, hi, 1e-9) {
+				t.Errorf("trial %d: point %v escaped the initial box", trial, p)
+			}
+		}
+	}
+}
+
+// TestDiameterTriangleQuick property-checks that Diameter is a proper
+// max-metric aggregate: adding a point never decreases it, and it is
+// bounded by the sum over coordinates of scalar diameters.
+func TestDiameterTriangleQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		pts := make([]vector.Point, n)
+		for i := range pts {
+			pts[i] = vector.Point{rng.Float64(), rng.Float64()}
+		}
+		base := vector.Diameter(pts)
+		more := append(append([]vector.Point{}, pts...), vector.Point{rng.Float64() * 2, rng.Float64() * 2})
+		if vector.Diameter(more) < base-1e-12 {
+			return false
+		}
+		// Coordinate-wise bound: diam <= sqrt(dx^2 + dy^2).
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p[0])
+			ys = append(ys, p[1])
+		}
+		dx := core.Diameter(xs)
+		dy := core.Diameter(ys)
+		return base <= math.Hypot(dx, dy)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
