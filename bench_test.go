@@ -119,14 +119,53 @@ func BenchmarkConfigStepInPlace(b *testing.B) {
 	}
 }
 
+// BenchmarkValencyInner measures the estimator's standard usage: one
+// persistent engine (as built by NewEstimator) queried repeatedly, so the
+// transposition table is warm after the first iteration — exactly the
+// adversaries' cross-round access pattern.
 func BenchmarkValencyInner(b *testing.B) {
 	m := model.TwoAgent()
 	c := core.NewConfig(algorithms.TwoThirds{}, []float64{0, 1})
-	for _, depth := range []int{2, 4, 6} {
+	for _, depth := range []int{2, 4, 6, 8} {
 		est := valency.NewEstimator(m, depth, true)
 		b.Run("depth-"+strconv.Itoa(depth), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = est.Inner(c)
+			}
+		})
+	}
+}
+
+// BenchmarkValencyInnerCold measures a full exploration from an empty
+// transposition table: every iteration pays the entire tree walk. This is
+// the honest single-shot speedup over the naive recursive reference
+// (settle-chain pre-fill, within-walk memoization, arena stepping,
+// parallel fan-out — but no cross-call reuse).
+func BenchmarkValencyInnerCold(b *testing.B) {
+	m := model.TwoAgent()
+	c := core.NewConfig(algorithms.TwoThirds{}, []float64{0, 1})
+	for _, depth := range []int{2, 4, 6, 8} {
+		b.Run("depth-"+strconv.Itoa(depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := valency.NewEngine(m, valency.DefaultParams(depth, true))
+				_ = eng.Inner(c)
+			}
+		})
+	}
+}
+
+// BenchmarkValencyOuter measures the outer-bound walk, warm-engine usage.
+func BenchmarkValencyOuter(b *testing.B) {
+	m := model.TwoAgent()
+	c := core.NewConfig(algorithms.TwoThirds{}, []float64{0, 1})
+	for _, depth := range []int{4, 8} {
+		est := valency.NewEstimator(m, depth, true)
+		b.Run("depth-"+strconv.Itoa(depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = est.Outer(c)
 			}
 		})
 	}
@@ -137,10 +176,34 @@ func BenchmarkGreedyAdversaryRound(b *testing.B) {
 	est := valency.NewEstimator(m, 3, true)
 	adv := &adversary.Greedy{Est: est}
 	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1, 0.5})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = adv.Next(1, c)
 	}
+}
+
+// BenchmarkGreedyAdversaryRun plays a whole adversarial execution per
+// iteration on a cold engine and reports the transposition-table hit rate
+// of the cross-round reuse: the settle loops of the chosen successor's
+// subtree, resolved while ranking candidates, hit the depth-independent
+// limit table in the following round.
+func BenchmarkGreedyAdversaryRun(b *testing.B) {
+	m := model.DeafModel(graph.Complete(3))
+	inputs := []float64{0, 1, 0.5}
+	const rounds = 8
+	b.ReportAllocs()
+	var stats valency.CacheStats
+	for i := 0; i < b.N; i++ {
+		est := valency.NewEstimator(m, 3, true)
+		adv := &adversary.Greedy{Est: est}
+		tr := core.Run(algorithms.Midpoint{}, inputs, adv, rounds)
+		if tr.Rounds() != rounds {
+			b.Fatal("short run")
+		}
+		stats = est.Engine().Stats()
+	}
+	b.ReportMetric(stats.HitRate(), "hit-rate")
 }
 
 func BenchmarkAlphaDiameter(b *testing.B) {

@@ -46,10 +46,16 @@ type Decision struct {
 	Inner []valency.Interval
 }
 
-// Next implements core.PatternSource.
+// Next implements core.PatternSource. The valency exploration runs on the
+// estimator's persistent engine, so when the next round's call re-explores
+// the chosen successor's subtree, every constant-graph settle loop — the
+// dominant cost, already resolved while ranking candidates here — is
+// served from the depth-independent limit table. (Inner-table entries are
+// keyed by remaining depth, so the deeper re-exploration misses those.)
 func (a *Greedy) Next(round int, c *core.Config) graph.Graph {
 	m := a.Est.Model
-	inners := a.Est.SuccessorInners(c)
+	eng := a.Est.Engine()
+	inners := eng.SuccessorInners(c)
 	best, bestDiam := 0, -1.0
 	for k, iv := range inners {
 		if d := iv.Diameter(); d > bestDiam {
@@ -57,9 +63,11 @@ func (a *Greedy) Next(round int, c *core.Config) graph.Graph {
 		}
 	}
 	if bestDiam <= 0 {
-		// Fallback: maximize the successor's value diameter.
-		for k := 0; k < m.Size(); k++ {
-			if d := c.Step(m.Graph(k)).Diameter(); d > bestDiam {
+		// Fallback: maximize the successor's value diameter, computed on
+		// the engine's scratch arena — no per-candidate configuration is
+		// materialized.
+		for k, d := range eng.SuccessorValueDiameters(c) {
+			if d > bestDiam {
 				best, bestDiam = k, d
 			}
 		}
@@ -83,6 +91,7 @@ type BlockGreedy struct {
 	Blocks [][]graph.Graph
 
 	pending []graph.Graph
+	scratch *core.Config
 }
 
 // NewBlockGreedy validates the blocks and returns the adversary.
@@ -110,19 +119,33 @@ func NewBlockGreedy(est valency.Estimator, blocks [][]graph.Graph) (*BlockGreedy
 // BlockLen returns the common block length.
 func (a *BlockGreedy) BlockLen() int { return len(a.Blocks[0]) }
 
-// Next implements core.PatternSource.
+// Next implements core.PatternSource. Candidate blocks are played out on
+// a reused scratch configuration, and the end-of-block valencies come
+// from the estimator's persistent engine, whose caches carry the chosen
+// block's exploration into the next decision.
 func (a *BlockGreedy) Next(round int, c *core.Config) graph.Graph {
 	if len(a.pending) == 0 {
+		eng := a.Est.Engine()
+		if a.scratch == nil {
+			a.scratch = &core.Config{}
+		}
+		playBlock := func(block []graph.Graph) *core.Config {
+			end := a.scratch
+			c.StepInto(end, block[0])
+			for _, g := range block[1:] {
+				end.StepInPlace(g)
+			}
+			return end
+		}
 		best, bestDiam := 0, -1.0
 		for k, block := range a.Blocks {
-			end := c.StepAll(block)
-			if d := a.Est.Inner(end).Diameter(); d > bestDiam {
+			if d := eng.Inner(playBlock(block)).Diameter(); d > bestDiam {
 				best, bestDiam = k, d
 			}
 		}
 		if bestDiam <= 0 {
 			for k, block := range a.Blocks {
-				if d := c.StepAll(block).Diameter(); d > bestDiam {
+				if d := playBlock(block).Diameter(); d > bestDiam {
 					best, bestDiam = k, d
 				}
 			}

@@ -1,0 +1,118 @@
+package algorithms
+
+import "repro/internal/core"
+
+// This file implements the optional core.Fingerprinter and core.StateCopier
+// capabilities for every agent in the package, enabling the valency
+// engine's transposition table and zero-allocation scratch stepping.
+//
+// Each fingerprint starts with a distinct type tag so states of different
+// algorithms can never collide in a shared cache, then encodes the full
+// agent state with fixed-width encodings. Fields that are constant across
+// an execution (ids, parameters) are still included: they cost little and
+// make the fingerprints self-describing.
+const (
+	tagMidpoint = iota + 1
+	tagTwoThirds
+	tagMean
+	tagSelfWeighted
+	tagAmortized
+	tagFlowSum
+)
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *midpointAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagMidpoint)
+	return core.AppendFloat(dst, a.y), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *midpointAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*midpointAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *twoThirdsAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagTwoThirds)
+	dst = core.AppendInt(dst, a.id)
+	return core.AppendFloat(dst, a.y), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *twoThirdsAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*twoThirdsAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *meanAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagMean)
+	return core.AppendFloat(dst, a.y), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *meanAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*meanAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *selfWeightedAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagSelfWeighted)
+	dst = core.AppendInt(dst, a.id)
+	dst = core.AppendFloat(dst, a.alpha)
+	return core.AppendFloat(dst, a.y), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *selfWeightedAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*selfWeightedAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *amortizedAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagAmortized)
+	dst = core.AppendInt(dst, a.phaseLen)
+	dst = core.AppendFloat(dst, a.y)
+	dst = core.AppendFloat(dst, a.lo)
+	return core.AppendFloat(dst, a.hi), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *amortizedAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*amortizedAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *flowSumAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagFlowSum)
+	dst = core.AppendInt(dst, a.deg)
+	return core.AppendFloat(dst, a.y), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *flowSumAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*flowSumAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}

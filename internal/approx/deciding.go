@@ -77,6 +77,40 @@ func (a *decidingAgent) Clone() core.Agent {
 	return &decidingAgent{inner: a.inner.Clone(), decideAt: a.decideAt, decision: a.decision}
 }
 
+// decidingAgentTag namespaces decidingAgent fingerprints; it is distinct
+// from the tag bytes used by internal/algorithms because the wrapped
+// agent's own tagged fingerprint follows.
+const decidingAgentTag = 0x40
+
+// AppendFingerprint implements core.Fingerprinter. It reports ok only
+// when the wrapped agent is fingerprintable itself; configurations of
+// non-fingerprintable wrappers simply skip memoization.
+func (a *decidingAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	f, ok := a.inner.(core.Fingerprinter)
+	if !ok {
+		return dst, false
+	}
+	dst = append(dst, decidingAgentTag)
+	dst = core.AppendInt(dst, a.decideAt)
+	dst = core.AppendFloat(dst, a.decision)
+	return f.AppendFingerprint(dst)
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *decidingAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*decidingAgent)
+	if !ok {
+		return false
+	}
+	sc, ok := a.inner.(core.StateCopier)
+	if !ok || !sc.CopyStateFrom(s.inner) {
+		a.inner = s.inner.Clone()
+	}
+	a.decideAt = s.decideAt
+	a.decision = s.decision
+	return true
+}
+
 // Decided reports whether the write-once decision variable has been set.
 func (a *decidingAgent) Decided() bool { return !math.IsNaN(a.decision) }
 

@@ -63,6 +63,16 @@ type Algorithm interface {
 	Convex() bool
 }
 
+// StateCopier is an optional Agent capability: agents that can adopt the
+// state of another agent in place implement it so that configuration
+// scratch buffers can be refilled without allocating (see StepInto).
+type StateCopier interface {
+	// CopyStateFrom overwrites the receiver's state with src's and reports
+	// whether it succeeded; it must return false (leaving the receiver in
+	// any valid state) when src has a different concrete type.
+	CopyStateFrom(src Agent) bool
+}
+
 // Config is a configuration: the collection of all agent states after some
 // round. Step produces successor configurations without mutating the
 // receiver, mirroring the paper's G.C notation.
@@ -70,6 +80,11 @@ type Config struct {
 	n      int
 	round  int
 	agents []Agent
+
+	// Reusable scratch for StepInto/StepInPlace; never part of the
+	// configuration's identity and never copied by Clone.
+	msgScratch   []Message
+	inboxScratch []Message
 }
 
 // NewConfig returns the initial configuration of alg on the given inputs
@@ -109,9 +124,28 @@ func (c *Config) Outputs() []float64 {
 	return out
 }
 
-// Diameter returns the diameter Δ(y) of the current values.
+// Hull returns the convex hull [lo, hi] of the current values without
+// allocating.
+func (c *Config) Hull() (lo, hi float64) {
+	if c.n == 0 {
+		return 0, 0
+	}
+	lo = c.agents[0].Output()
+	hi = lo
+	for _, a := range c.agents[1:] {
+		v := a.Output()
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// Diameter returns the diameter Δ(y) of the current values. It is
+// allocation-free: the settle loops of the valency estimator call it once
+// per explored round.
 func (c *Config) Diameter() float64 {
-	return Diameter(c.Outputs())
+	lo, hi := c.Hull()
+	return hi - lo
 }
 
 // Clone returns an independent deep copy of the configuration.
@@ -160,12 +194,11 @@ func (c *Config) StepInPlace(g graph.Graph) {
 		panic(fmt.Sprintf("core: graph on %d nodes applied to %d agents", g.N(), c.n))
 	}
 	c.round++
-	msgs := make([]Message, c.n)
+	msgs, inbox := c.scratch()
 	for i, a := range c.agents {
 		msgs[i] = a.Broadcast(c.round)
 		msgs[i].From = i
 	}
-	inbox := make([]Message, 0, c.n)
 	for j, a := range c.agents {
 		inbox = inbox[:0]
 		m := g.InMask(j)
@@ -176,13 +209,82 @@ func (c *Config) StepInPlace(g graph.Graph) {
 		}
 		a.Deliver(c.round, inbox)
 	}
+	c.inboxScratch = inbox[:0]
 }
 
-// StepAll applies the rounds of the given graph sequence in order.
+// scratch returns the receiver's reusable message and inbox buffers,
+// growing them on first use.
+func (c *Config) scratch() (msgs, inbox []Message) {
+	if cap(c.msgScratch) < c.n {
+		c.msgScratch = make([]Message, c.n)
+	}
+	if cap(c.inboxScratch) < c.n {
+		c.inboxScratch = make([]Message, 0, c.n)
+	}
+	return c.msgScratch[:c.n], c.inboxScratch[:0]
+}
+
+// StepInto computes the successor configuration G.C into dst, the
+// zero-allocation counterpart of Step for execution-tree walkers that own
+// a scratch arena of Config values. The receiver is unchanged; dst is
+// overwritten entirely. dst may be a zero &Config{} (its agent slots are
+// then populated by cloning) or a previously used scratch configuration
+// (its agents are refilled in place via StateCopier when the concrete
+// types match, avoiding all allocation).
+//
+// dst must not alias c or share agents with it; use StepInPlace to advance
+// a configuration in place. Concurrent StepInto calls from the same
+// receiver into distinct destinations are safe: the receiver is only read.
+func (c *Config) StepInto(dst *Config, g graph.Graph) {
+	if g.N() != c.n {
+		panic(fmt.Sprintf("core: graph on %d nodes applied to %d agents", g.N(), c.n))
+	}
+	if dst == c {
+		panic("core: StepInto destination aliases the receiver; use StepInPlace")
+	}
+	round := c.round + 1
+	dst.n = c.n
+	dst.round = round
+	if cap(dst.agents) < c.n {
+		dst.agents = make([]Agent, c.n)
+	}
+	dst.agents = dst.agents[:c.n]
+	msgs, inbox := dst.scratch()
+	for i, a := range c.agents {
+		msgs[i] = a.Broadcast(round)
+		msgs[i].From = i
+	}
+	for j := 0; j < c.n; j++ {
+		d := dst.agents[j]
+		if d == nil {
+			d = c.agents[j].Clone()
+			dst.agents[j] = d
+		} else if sc, ok := d.(StateCopier); !ok || !sc.CopyStateFrom(c.agents[j]) {
+			d = c.agents[j].Clone()
+			dst.agents[j] = d
+		}
+		inbox = inbox[:0]
+		m := g.InMask(j)
+		for i := 0; i < c.n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				inbox = append(inbox, msgs[i])
+			}
+		}
+		d.Deliver(round, inbox)
+	}
+	dst.inboxScratch = inbox[:0]
+}
+
+// StepAll applies the rounds of the given graph sequence in order and
+// returns the resulting configuration. The receiver is unchanged; only one
+// clone is made for the whole sequence.
 func (c *Config) StepAll(gs []graph.Graph) *Config {
-	cur := c
+	if len(gs) == 0 {
+		return c
+	}
+	cur := c.Clone()
 	for _, g := range gs {
-		cur = cur.Step(g)
+		cur.StepInPlace(g)
 	}
 	return cur
 }

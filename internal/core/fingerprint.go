@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Fingerprinter is an optional Agent capability: agents that can
+// serialize their complete behavioral state into a canonical byte string
+// implement it to enable configuration memoization (see internal/valency's
+// transposition table). Two agents of the same concrete type must produce
+// equal fingerprints iff every future Broadcast/Deliver/Output behaves
+// identically from the current state onward (given equal round numbers,
+// which the Config fingerprint accounts for separately).
+//
+// Implementations should start with a distinct type tag byte so that
+// states of different agent types can never collide, and then append the
+// full state with fixed-width encodings (AppendFloat, AppendInt).
+type Fingerprinter interface {
+	// AppendFingerprint appends the canonical state encoding to dst and
+	// returns the extended slice, in the manner of append. ok is false
+	// when the agent cannot fingerprint itself after all (e.g. a wrapper
+	// around a non-fingerprintable inner agent); the returned slice is
+	// then meaningless.
+	AppendFingerprint(dst []byte) (fp []byte, ok bool)
+}
+
+// AppendFloat appends the IEEE-754 bit pattern of v to dst. Using raw bits
+// keeps fingerprints exact: distinct floats (including -0 vs +0) never
+// merge, so memoized results are bit-identical to recomputation.
+func AppendFloat(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendInt appends a fixed-width encoding of v to dst.
+func AppendInt(dst []byte, v int) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+// AppendFingerprint appends a canonical fingerprint of the whole
+// configuration — agent count, completed round, and every agent's state in
+// index order — to dst. ok is false when some agent does not implement
+// Fingerprinter; the returned slice is then meaningless and callers must
+// skip memoization for this configuration.
+//
+// The round number is part of the key because agents may behave
+// round-dependently (e.g. the amortized midpoint's phase counter).
+func (c *Config) AppendFingerprint(dst []byte) (fp []byte, ok bool) {
+	dst = AppendInt(dst, c.n)
+	dst = AppendInt(dst, c.round)
+	for _, a := range c.agents {
+		f, can := a.(Fingerprinter)
+		if !can {
+			return dst, false
+		}
+		if dst, can = f.AppendFingerprint(dst); !can {
+			return dst, false
+		}
+	}
+	return dst, true
+}
+
+// Fingerprint returns the configuration fingerprint as a string key, or
+// ok = false when some agent is not fingerprintable.
+func (c *Config) Fingerprint() (key string, ok bool) {
+	fp, ok := c.AppendFingerprint(nil)
+	if !ok {
+		return "", false
+	}
+	return string(fp), true
+}

@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// stepAlgs are the algorithms the StepInto/fingerprint tests sweep;
+// AmortizedMidpoint exercises round-dependent behavior and Aux payloads.
+func stepAlgs() []core.Algorithm {
+	return []core.Algorithm{
+		algorithms.Midpoint{},
+		algorithms.Mean{},
+		algorithms.SelfWeighted{Alpha: 0.25},
+		algorithms.AmortizedMidpoint{},
+	}
+}
+
+// TestStepIntoMatchesStep drives random graph sequences through Step and
+// StepInto (with a reused scratch destination) and demands identical
+// outputs after every round.
+func TestStepIntoMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, alg := range stepAlgs() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			const n = 5
+			inputs := make([]float64, n)
+			for i := range inputs {
+				inputs[i] = rng.Float64()
+			}
+			ref := core.NewConfig(alg, inputs)
+			fast := core.NewConfig(alg, inputs)
+			dst := &core.Config{} // zero scratch: populated by cloning once, then refilled in place
+			for r := 0; r < 30; r++ {
+				g := graph.Random(rng, n, 0.4)
+				ref = ref.Step(g)
+				fast.StepInto(dst, g)
+				fast, dst = dst, fast
+				if ref.Round() != fast.Round() {
+					t.Fatalf("round %d: Step round %d, StepInto round %d", r, ref.Round(), fast.Round())
+				}
+				for i := 0; i < n; i++ {
+					if ref.Output(i) != fast.Output(i) {
+						t.Fatalf("round %d agent %d: Step %v, StepInto %v", r, i, ref.Output(i), fast.Output(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepIntoDoesNotMutateReceiver pins the read-only contract on the
+// source configuration.
+func TestStepIntoDoesNotMutateReceiver(t *testing.T) {
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1, 0.5})
+	before, _ := c.Fingerprint()
+	dst := &core.Config{}
+	c.StepInto(dst, graph.Complete(3))
+	after, ok := c.Fingerprint()
+	if !ok || after != before {
+		t.Fatal("StepInto mutated its receiver")
+	}
+	if dst.Round() != c.Round()+1 {
+		t.Fatalf("successor round %d, want %d", dst.Round(), c.Round()+1)
+	}
+}
+
+// TestStepIntoSelfPanics pins the aliasing guard.
+func TestStepIntoSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepInto(c, ...) onto itself did not panic")
+		}
+	}()
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1})
+	c.StepInto(c, graph.Complete(2))
+}
+
+// TestFingerprintDistinguishesStateAndRound checks the two key axes of
+// the memoization key: agent state and round number.
+func TestFingerprintDistinguishesStateAndRound(t *testing.T) {
+	a := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1})
+	b := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1})
+	fa, ok := a.Fingerprint()
+	if !ok {
+		t.Fatal("midpoint agents must be fingerprintable")
+	}
+	fb, _ := b.Fingerprint()
+	if fa != fb {
+		t.Fatal("identical configurations must share a fingerprint")
+	}
+	// Stepping with the identity graph keeps every value but advances the
+	// round: the fingerprint must change.
+	id := b.Step(graph.New(2))
+	fid, _ := id.Fingerprint()
+	if fid == fa {
+		t.Fatal("fingerprint must include the round number")
+	}
+	// Different values must differ.
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 0.75})
+	fc, _ := c.Fingerprint()
+	if fc == fa {
+		t.Fatal("fingerprint must include agent values")
+	}
+	// Different algorithms with equal values must differ (type tags).
+	d := core.NewConfig(algorithms.Mean{}, []float64{0, 1})
+	fd, _ := d.Fingerprint()
+	if fd == fa {
+		t.Fatal("fingerprints of different algorithms must not collide")
+	}
+}
+
+// TestDiameterAllocationFree pins the allocation-free settle-loop path.
+func TestDiameterAllocationFree(t *testing.T) {
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1, 0.25, 0.75})
+	if d := c.Diameter(); d != 1 {
+		t.Fatalf("Diameter = %v, want 1", d)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = c.Diameter() }); allocs != 0 {
+		t.Fatalf("Diameter allocates %v times per call, want 0", allocs)
+	}
+	lo, hi := c.Hull()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Hull = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+// TestStepIntoAllocationFree verifies the steady-state zero-allocation
+// guarantee for fingerprintable, state-copyable agents without Aux
+// payloads.
+func TestStepIntoAllocationFree(t *testing.T) {
+	c := core.NewConfig(algorithms.Midpoint{}, []float64{0, 1, 0.5, 0.25})
+	dst := &core.Config{}
+	g := graph.Complete(4)
+	c.StepInto(dst, g) // warm-up: populates agents and scratch buffers
+	if allocs := testing.AllocsPerRun(100, func() { c.StepInto(dst, g) }); allocs != 0 {
+		t.Fatalf("StepInto allocates %v times per call after warm-up, want 0", allocs)
+	}
+}

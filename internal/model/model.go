@@ -14,6 +14,7 @@ package model
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -148,31 +149,81 @@ func AlphaRelated(g, h, k graph.Graph) bool {
 	return graph.InsOn(g, h, k.Roots())
 }
 
-// alphaAdjacency returns the adjacency matrix of the one-step alpha
-// relation over model indices, using the allowed witness indices.
-// adj[i][j] iff exists witness k in witnesses with graphs[i] alpha_{.,k}
-// graphs[j].
-func (m *Model) alphaAdjacency(members, witnesses []int) [][]bool {
-	pos := make(map[int]int, len(members))
-	for p, i := range members {
-		pos[i] = p
+// bitMatrix is a square symmetric boolean matrix stored as packed 64-bit
+// rows, the idiom used for in-neighbor masks in internal/graph. Row i
+// occupies words[i*stride : (i+1)*stride]; bit j of a row marks adjacency
+// to column j. The packed layout makes the reachability sweeps below
+// (component closure, BFS level expansion) word-parallel: one OR merges
+// 64 adjacency columns at a time.
+type bitMatrix struct {
+	n      int
+	stride int
+	words  []uint64
+}
+
+func newBitMatrix(n int) bitMatrix {
+	stride := (n + 63) / 64
+	return bitMatrix{n: n, stride: stride, words: make([]uint64, n*stride)}
+}
+
+func (bm bitMatrix) set(i, j int) {
+	bm.words[i*bm.stride+j>>6] |= 1 << uint(j&63)
+}
+
+func (bm bitMatrix) row(i int) []uint64 {
+	return bm.words[i*bm.stride : (i+1)*bm.stride]
+}
+
+// orRowsOf ORs into dst the adjacency rows of every index set in src,
+// i.e. dst |= ∪_{i ∈ src} row(i).
+func (bm bitMatrix) orRowsOf(dst, src []uint64) {
+	for w, word := range src {
+		base := w << 6
+		for word != 0 {
+			i := base + trailingZeros(word)
+			word &= word - 1
+			row := bm.row(i)
+			for x := range dst {
+				dst[x] |= row[x]
+			}
+		}
 	}
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// alphaAdjacency returns the adjacency matrix of the one-step alpha
+// relation over model indices, using the allowed witness indices, as
+// packed bitmask rows. Bit b of row a is set iff some witness k satisfies
+// graphs[members[a]] alpha_{.,k} graphs[members[b]].
+func (m *Model) alphaAdjacency(members, witnesses []int) bitMatrix {
+	// A witness enters the alpha relation only through its root set, so
+	// deduplicating root masks shrinks the inner loop drastically: models
+	// like FullAsyncRound(4,1) have 256 witnesses but only a handful of
+	// distinct root sets.
 	rootMasks := make([]uint64, 0, len(witnesses))
 	for _, k := range witnesses {
-		rootMasks = append(rootMasks, m.graphs[k].Roots())
+		roots := m.graphs[k].Roots()
+		dup := false
+		for _, seen := range rootMasks {
+			if seen == roots {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rootMasks = append(rootMasks, roots)
+		}
 	}
-	adj := make([][]bool, len(members))
-	for a := range adj {
-		adj[a] = make([]bool, len(members))
-	}
+	adj := newBitMatrix(len(members))
 	for a, i := range members {
-		adj[a][a] = true
+		adj.set(a, a)
 		for b := a + 1; b < len(members); b++ {
 			j := members[b]
 			for _, roots := range rootMasks {
 				if graph.InsOn(m.graphs[i], m.graphs[j], roots) {
-					adj[a][b] = true
-					adj[b][a] = true
+					adj.set(a, b)
+					adj.set(b, a)
 					break
 				}
 			}
@@ -206,37 +257,63 @@ func (m *Model) AlphaDiameter() (d int, finite bool) {
 func (m *Model) alphaDiameterWithin(members, witnesses []int) (int, bool) {
 	adj := m.alphaAdjacency(members, witnesses)
 	n := len(members)
+	stride := adj.stride
+	full := make([]uint64, stride)
+	for i := 0; i < n; i++ {
+		full[i>>6] |= 1 << uint(i&63)
+	}
+	visited := make([]uint64, stride)
+	frontier := make([]uint64, stride)
+	next := make([]uint64, stride)
 	maxDist := 0
 	for s := 0; s < n; s++ {
-		dist := make([]int, n)
-		for i := range dist {
-			dist[i] = -1
+		// Level-synchronous BFS on bitmask frontiers: each level expands
+		// by OR-ing whole adjacency rows, 64 columns per word operation.
+		for w := range visited {
+			visited[w] = 0
+			frontier[w] = 0
 		}
-		dist[s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for v := 0; v < n; v++ {
-				if adj[u][v] && dist[v] < 0 {
-					dist[v] = dist[u] + 1
-					queue = append(queue, v)
+		visited[s>>6] = 1 << uint(s&63)
+		frontier[s>>6] = visited[s>>6]
+		dist := 0
+		for !equalWords(visited, full) {
+			for w := range next {
+				next[w] = 0
+			}
+			adj.orRowsOf(next, frontier)
+			advanced := false
+			for w := range next {
+				next[w] &^= visited[w]
+				if next[w] != 0 {
+					advanced = true
 				}
 			}
+			if !advanced {
+				return 0, false // s cannot reach every member
+			}
+			dist++
+			for w := range next {
+				visited[w] |= next[w]
+			}
+			copy(frontier, next)
 		}
-		for _, dv := range dist {
-			if dv < 0 {
-				return 0, false
-			}
-			if dv > maxDist {
-				maxDist = dv
-			}
+		if dist > maxDist {
+			maxDist = dist
 		}
 	}
 	if maxDist < 1 {
 		maxDist = 1 // Definition 22 requires D >= 1.
 	}
 	return maxDist, true
+}
+
+func equalWords(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // BetaClasses returns the beta-equivalence classes of the model
@@ -324,31 +401,61 @@ func rootUniverse(n int) uint64 {
 }
 
 // components returns the connected components of an undirected adjacency
-// matrix, translated back to the original index labels, each sorted.
-func components(adj [][]bool, labels []int) [][]int {
+// bit matrix, translated back to the original index labels. The closure of
+// each component is computed word-parallel: the frontier is a bitmask and
+// each expansion ORs whole adjacency rows.
+//
+// labels must be in ascending order: extracting members in bit order then
+// yields each component already sorted, which sortClasses relies on
+// (classes are ordered by their first = smallest member). Every caller
+// passes ascending labels (allIndices, or a component of a previous
+// components call).
+func components(adj bitMatrix, labels []int) [][]int {
 	n := len(labels)
-	seen := make([]bool, n)
+	stride := adj.stride
+	seen := make([]uint64, stride)
+	comp := make([]uint64, stride)
+	frontier := make([]uint64, stride)
+	next := make([]uint64, stride)
 	var comps [][]int
 	for s := 0; s < n; s++ {
-		if seen[s] {
+		if seen[s>>6]&(1<<uint(s&63)) != 0 {
 			continue
 		}
-		var comp []int
-		stack := []int{s}
-		seen[s] = true
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			comp = append(comp, labels[u])
-			for v := 0; v < n; v++ {
-				if adj[u][v] && !seen[v] {
-					seen[v] = true
-					stack = append(stack, v)
+		for w := range comp {
+			comp[w] = 0
+			frontier[w] = 0
+		}
+		comp[s>>6] = 1 << uint(s&63)
+		frontier[s>>6] = comp[s>>6]
+		for {
+			for w := range next {
+				next[w] = 0
+			}
+			adj.orRowsOf(next, frontier)
+			grew := false
+			for w := range next {
+				next[w] &^= comp[w]
+				if next[w] != 0 {
+					grew = true
 				}
+				comp[w] |= next[w]
+			}
+			if !grew {
+				break
+			}
+			copy(frontier, next)
+		}
+		members := make([]int, 0, 8)
+		for w, word := range comp {
+			seen[w] |= word
+			base := w << 6
+			for word != 0 {
+				members = append(members, labels[base+trailingZeros(word)])
+				word &= word - 1
 			}
 		}
-		sort.Ints(comp)
-		comps = append(comps, comp)
+		comps = append(comps, members)
 	}
 	sortClasses(comps)
 	return comps

@@ -98,13 +98,21 @@ func (iv Interval) String() string {
 func emptyInterval() Interval { return Interval{Lo: math.Inf(1), Hi: math.Inf(-1)} }
 
 // Estimator computes valency bounds for configurations under a network
-// model. The zero value is not usable; fill in Model and call Normalize or
-// use NewEstimator for defaults.
+// model. It is a thin wrapper around Engine, kept for API stability: the
+// exploration itself is memoized, allocation-free, and parallel (see
+// Engine). The zero value is not usable; use NewEstimator, which binds a
+// persistent engine whose transposition tables survive across calls — the
+// cross-round reuse the greedy adversaries depend on.
+//
+// An Estimator built as a plain struct literal still works: every call
+// then runs on a fresh engine (memoization still collapses the tree
+// within the call, but nothing carries over between calls).
 type Estimator struct {
 	// Model is the network model N.
 	Model *model.Model
 	// Depth is the exhaustive exploration depth of the execution tree.
-	// Cost is Θ(|N|^Depth), so keep Depth*log|N| modest.
+	// Cost is O(|N|^Depth) before memoization, so keep Depth*log|N|
+	// modest.
 	Depth int
 	// Settle caps the number of rounds a constant-graph continuation is
 	// run when hunting for its limit.
@@ -115,17 +123,70 @@ type Estimator struct {
 	// Convex asserts the algorithm under analysis is a convex combination
 	// algorithm, enabling the outer bound.
 	Convex bool
+
+	eng *Engine
 }
 
 // NewEstimator returns an estimator with sensible defaults: the given
-// depth, Settle = 512, Tol = 1e-9.
+// depth, Settle = 512, Tol = 1e-9, and a persistent engine using all CPUs.
 func NewEstimator(m *model.Model, depth int, convex bool) Estimator {
-	return Estimator{Model: m, Depth: depth, Settle: 512, Tol: 1e-9, Convex: convex}
+	e := Estimator{Model: m, Depth: depth, Settle: 512, Tol: 1e-9, Convex: convex}
+	e.eng = NewEngine(m, e.params())
+	return e
+}
+
+func (e Estimator) params() Params {
+	return Params{Depth: e.Depth, Settle: e.Settle, Tol: e.Tol, Convex: e.Convex}
+}
+
+// Engine returns the engine backing the estimator. When the estimator was
+// built by NewEstimator and its fields were not mutated afterwards, the
+// bound persistent engine is returned; otherwise a fresh engine matching
+// the current field values is created.
+func (e Estimator) Engine() *Engine {
+	if e.eng != nil && e.eng.model == e.Model && e.eng.params == e.params() {
+		return e.eng
+	}
+	return NewEngine(e.Model, e.params())
 }
 
 // Inner returns the inner valency bound: an interval spanned by genuine
 // members of Y*(C). Its diameter is a sound lower bound on δ(C).
-func (e Estimator) Inner(c *core.Config) Interval {
+func (e Estimator) Inner(c *core.Config) Interval { return e.Engine().Inner(c) }
+
+// LimitOfConstant runs the continuation that repeats model graph k forever
+// from c and returns the (approximate) common limit. ok is false when the
+// continuation did not contract below Tol within Settle rounds (e.g. the
+// constant graph does not drive the algorithm to consensus).
+func (e Estimator) LimitOfConstant(c *core.Config, k int) (limit float64, ok bool) {
+	return e.Engine().LimitOfConstant(c, k)
+}
+
+// Outer returns the outer valency bound for convex combination algorithms:
+// an interval provably containing Y*(C). It panics when the estimator was
+// not constructed for a convex algorithm, because the hull argument is
+// unsound then.
+func (e Estimator) Outer(c *core.Config) Interval { return e.Engine().Outer(c) }
+
+// DeltaLower returns a sound lower bound on δ(C) = diam(Y*(C)).
+func (e Estimator) DeltaLower(c *core.Config) float64 { return e.Inner(c).Diameter() }
+
+// DeltaUpper returns a sound upper bound on δ(C) for convex algorithms.
+func (e Estimator) DeltaUpper(c *core.Config) float64 { return e.Outer(c).Diameter() }
+
+// SuccessorInners returns, for each model graph G, the inner valency bound
+// of the successor configuration G.C — the branching data the paper's
+// greedy adversaries (proofs of Theorems 1, 2, 5) act on.
+func (e Estimator) SuccessorInners(c *core.Config) []Interval {
+	return e.Engine().SuccessorInners(c)
+}
+
+// ReferenceInner is the original naive recursive inner-bound walk: no
+// memoization, no scratch arenas, no parallelism, one fresh configuration
+// per tree edge. It is retained verbatim as the differential-testing
+// oracle for Engine — the engine must reproduce its intervals
+// bit-identically.
+func (e Estimator) ReferenceInner(c *core.Config) Interval {
 	iv := emptyInterval()
 	e.walkInner(c, e.Depth, &iv)
 	return iv
@@ -134,7 +195,7 @@ func (e Estimator) Inner(c *core.Config) Interval {
 func (e Estimator) walkInner(c *core.Config, depth int, acc *Interval) {
 	for k := 0; k < e.Model.Size(); k++ {
 		g := e.Model.Graph(k)
-		if limit, ok := e.LimitOfConstant(c, k); ok {
+		if limit, ok := e.referenceLimitOfConstant(c, k); ok {
 			*acc = acc.Union(Interval{Lo: limit, Hi: limit})
 		}
 		if depth > 0 {
@@ -143,11 +204,7 @@ func (e Estimator) walkInner(c *core.Config, depth int, acc *Interval) {
 	}
 }
 
-// LimitOfConstant runs the continuation that repeats model graph k forever
-// from c and returns the (approximate) common limit. ok is false when the
-// continuation did not contract below Tol within Settle rounds (e.g. the
-// constant graph does not drive the algorithm to consensus).
-func (e Estimator) LimitOfConstant(c *core.Config, k int) (limit float64, ok bool) {
+func (e Estimator) referenceLimitOfConstant(c *core.Config, k int) (limit float64, ok bool) {
 	g := e.Model.Graph(k)
 	cur := c
 	for r := 0; r < e.Settle; r++ {
@@ -164,11 +221,9 @@ func (e Estimator) LimitOfConstant(c *core.Config, k int) (limit float64, ok boo
 	return 0, false
 }
 
-// Outer returns the outer valency bound for convex combination algorithms:
-// an interval provably containing Y*(C). It panics when the estimator was
-// not constructed for a convex algorithm, because the hull argument is
-// unsound then.
-func (e Estimator) Outer(c *core.Config) Interval {
+// ReferenceOuter is the original naive recursive outer-bound walk, the
+// differential-testing oracle for Engine.Outer.
+func (e Estimator) ReferenceOuter(c *core.Config) Interval {
 	if !e.Convex {
 		panic("valency: Outer bound requires a convex combination algorithm")
 	}
@@ -185,21 +240,4 @@ func (e Estimator) walkOuter(c *core.Config, depth int) Interval {
 		iv = iv.Union(e.walkOuter(c.Step(e.Model.Graph(k)), depth-1))
 	}
 	return iv
-}
-
-// DeltaLower returns a sound lower bound on δ(C) = diam(Y*(C)).
-func (e Estimator) DeltaLower(c *core.Config) float64 { return e.Inner(c).Diameter() }
-
-// DeltaUpper returns a sound upper bound on δ(C) for convex algorithms.
-func (e Estimator) DeltaUpper(c *core.Config) float64 { return e.Outer(c).Diameter() }
-
-// SuccessorInners returns, for each model graph G, the inner valency bound
-// of the successor configuration G.C — the branching data the paper's
-// greedy adversaries (proofs of Theorems 1, 2, 5) act on.
-func (e Estimator) SuccessorInners(c *core.Config) []Interval {
-	out := make([]Interval, e.Model.Size())
-	for k := 0; k < e.Model.Size(); k++ {
-		out[k] = e.Inner(c.Step(e.Model.Graph(k)))
-	}
-	return out
 }
