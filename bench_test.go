@@ -119,6 +119,77 @@ func BenchmarkConfigStepInPlace(b *testing.B) {
 	}
 }
 
+// BenchmarkDenseStep measures one round of the dense struct-of-arrays
+// kernel; compare with BenchmarkConfigStep (forking Agent path) and
+// BenchmarkConfigStepInPlace (in-place Agent path) for the same sizes.
+func BenchmarkDenseStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{4, 16, 64} {
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()
+		}
+		g := graph.RandomNonSplit(rng, n, 0.3)
+		for _, alg := range []core.Algorithm{algorithms.Midpoint{}, algorithms.AmortizedMidpoint{}} {
+			d, ok := core.AsDense(alg)
+			if !ok {
+				b.Fatalf("%s lacks dense support", alg.Name())
+			}
+			r := core.NewDenseRunner(d, inputs)
+			b.Run(alg.Name()+"/"+sizeName(n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					r.Step(g)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkContractionDense is the acceptance race of the dense backend:
+// an n=16, 1000-round contraction race (the cmd/contraction measurement
+// loop) under the forking Agent path versus the dense kernel. The graphs
+// cycle through the deaf(K_16) model, the Table 1 non-split worst case.
+func BenchmarkContractionDense(b *testing.B) {
+	const n, rounds = 16, 1000
+	rng := rand.New(rand.NewSource(8))
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	pool := model.DeafModel(graph.Complete(n)).Graphs()
+	for _, alg := range []core.Algorithm{algorithms.Midpoint{}, algorithms.AmortizedMidpoint{}} {
+		b.Run(alg.Name()+"/agents", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := core.NewConfig(alg, inputs)
+				for round := 1; round <= rounds; round++ {
+					c = c.Step(pool[(round-1)%len(pool)])
+				}
+				if c.Round() != rounds {
+					b.Fatal("short race")
+				}
+			}
+		})
+		d, ok := core.AsDense(alg)
+		if !ok {
+			b.Fatalf("%s lacks dense support", alg.Name())
+		}
+		b.Run(alg.Name()+"/dense", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := core.NewDenseRunner(d, inputs)
+				for round := 1; round <= rounds; round++ {
+					r.Step(pool[(round-1)%len(pool)])
+				}
+				if r.Round() != rounds {
+					b.Fatal("short race")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkValencyInner measures the estimator's standard usage: one
 // persistent engine (as built by NewEstimator) queried repeatedly, so the
 // transposition table is warm after the first iteration — exactly the

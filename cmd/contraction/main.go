@@ -9,6 +9,12 @@
 //	contraction -model twoagent -alg twothirds -inputs 0,1 -rounds 8
 //	contraction -model deaf:3 -alg midpoint -adversary greedy -depth 3
 //	contraction -model psi:5 -alg amortized -adversary random -rounds 30
+//	contraction -model deaf:8 -alg midpoint -adversary cycle -backend=agents
+//
+// The -backend flag selects the execution engine: "dense" (or the default
+// "auto") races on the flat struct-of-arrays kernel whenever the
+// algorithm and scheduler support it, "agents" forces the interface-based
+// reference path; results are bit-identical.
 package main
 
 import (
@@ -41,9 +47,16 @@ func run(args []string, out io.Writer) error {
 	rounds := fs.Int("rounds", 8, "number of rounds")
 	depth := fs.Int("depth", 3, "valency exploration depth for the greedy adversary")
 	seed := fs.Int64("seed", 1, "seed for the random scheduler")
+	backendStr := fs.String("backend", "auto", "execution backend: auto | agents | dense")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	backend, err := core.ParseBackend(*backendStr)
+	if err != nil {
+		return err
+	}
+	core.SetDefaultBackend(backend)
 
 	m, err := spec.ParseModel(*modelSpec)
 	if err != nil {
@@ -92,21 +105,39 @@ func run(args []string, out io.Writer) error {
 		*modelSpec, m.N(), m.Size(), alg.Name(), *advKind)
 	fmt.Fprintf(out, "proven contraction lower bound: %.6g via %s\n\n", bound.Rate, bound.Theorem)
 
-	c := core.NewConfig(alg, inputs)
 	fmt.Fprintf(out, "%5s  %-28s  %12s  %12s\n", "round", "graph", "Δ(y)", "δ-floor")
-	fmt.Fprintf(out, "%5d  %-28s  %12.6g  %12.6g\n", 0, "-", c.Diameter(), est.DeltaLower(c))
-	for round := 1; round <= *rounds; round++ {
-		g := src.Next(round, c)
-		c = c.Step(g)
-		floor := 0.0
-		if alg.Convex() {
-			floor = est.DeltaLower(c)
-		}
-		name := g.String()
+	printRound := func(round int, name string, diam, floor float64) {
 		if len(name) > 28 {
 			name = name[:25] + "..."
 		}
-		fmt.Fprintf(out, "%5d  %-28s  %12.6g  %12.6g\n", round, name, c.Diameter(), floor)
+		fmt.Fprintf(out, "%5d  %-28s  %12.6g  %12.6g\n", round, name, diam, floor)
+	}
+	if d, ok := core.AsDense(alg); ok && backend.DenseEnabled() && core.IsOblivious(src) {
+		// Dense race loop: flat state per round; configurations are only
+		// materialized for the (exploration-dominated) valency floor.
+		r := core.NewDenseRunner(d, inputs)
+		printRound(0, "-", r.Diameter(), est.DeltaLower(r.Config()))
+		for round := 1; round <= *rounds; round++ {
+			g := src.Next(round, nil)
+			r.Step(g)
+			floor := 0.0
+			if alg.Convex() {
+				floor = est.DeltaLower(r.Config())
+			}
+			printRound(round, g.String(), r.Diameter(), floor)
+		}
+	} else {
+		c := core.NewConfig(alg, inputs)
+		printRound(0, "-", c.Diameter(), est.DeltaLower(c))
+		for round := 1; round <= *rounds; round++ {
+			g := src.Next(round, c)
+			c = c.Step(g)
+			floor := 0.0
+			if alg.Convex() {
+				floor = est.DeltaLower(c)
+			}
+			printRound(round, g.String(), c.Diameter(), floor)
+		}
 	}
 
 	src2, err := newSrc()

@@ -7,6 +7,7 @@
 //	decision                  run the built-in sweeps
 //	decision -eps 1e-2,1e-4   use specific tolerances
 //	decision -n 6             system size for the rooted-model sweep
+//	decision -backend agents  force the interface-based reference backend
 package main
 
 import (
@@ -35,9 +36,15 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	epsStr := fs.String("eps", "1e-1,1e-2,1e-3,1e-4,1e-5,1e-6", "comma-separated tolerances")
 	n := fs.Int("n", 6, "system size for the non-split and rooted sweeps")
+	backendStr := fs.String("backend", "auto", "execution backend: auto | agents | dense")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	backend, err := core.ParseBackend(*backendStr)
+	if err != nil {
+		return err
+	}
+	core.SetDefaultBackend(backend)
 
 	epss, err := spec.ParseFloats(*epsStr)
 	if err != nil {

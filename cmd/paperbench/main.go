@@ -9,6 +9,9 @@
 //	paperbench -list            list experiment IDs
 //	paperbench -run ID          run experiments whose ID contains the string
 //	paperbench -format csv      emit CSV instead of aligned tables
+//	paperbench -backend agents  force the interface-based reference backend
+//	                            (default "auto" uses the dense kernel where
+//	                            supported; tables are bit-identical)
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 )
 
@@ -36,12 +40,18 @@ func run(args []string, out io.Writer) error {
 	runPat := fs.String("run", "", "only run experiments whose ID contains this substring")
 	format := fs.String("format", "table", "output format: table | csv")
 	quiet := fs.Bool("q", false, "suppress per-experiment timing lines")
+	backendStr := fs.String("backend", "auto", "execution backend: auto | agents | dense")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	backend, err := core.ParseBackend(*backendStr)
+	if err != nil {
+		return err
+	}
+	core.SetDefaultBackend(backend)
 
 	if *list {
 		for _, e := range exp.All() {

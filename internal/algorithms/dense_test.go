@@ -1,0 +1,172 @@
+package algorithms_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// denseCases returns every algorithm of the package paired with a system
+// size and seeded inputs, covering all dense steppers.
+func denseCases(rng *rand.Rand) []struct {
+	alg    core.Algorithm
+	n      int
+	inputs []float64
+} {
+	randomInputs := func(n int) []float64 {
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = rng.Float64()*2 - 1
+		}
+		return in
+	}
+	g7 := graph.Random(rng, 7, 0.4)
+	return []struct {
+		alg    core.Algorithm
+		n      int
+		inputs []float64
+	}{
+		{algorithms.Midpoint{}, 6, randomInputs(6)},
+		{algorithms.TwoThirds{}, 2, []float64{0, 1}},
+		{algorithms.Mean{}, 5, randomInputs(5)},
+		{algorithms.SelfWeighted{Alpha: 0.25}, 5, randomInputs(5)},
+		{algorithms.AmortizedMidpoint{}, 6, randomInputs(6)},
+		{algorithms.QuantizedMidpoint{Q: 0.125}, 5, randomInputs(5)},
+		{algorithms.FloodRoot{Root: 2}, 6, randomInputs(6)},
+		{algorithms.FlowSumFor(g7), 7, randomInputs(7)},
+	}
+}
+
+// TestDenseMatchesAgentsRandomized is the tentpole's differential gate at
+// the algorithms layer: on randomized graph sequences, the dense backend
+// must reproduce the Agent path bit for bit — every agent's output after
+// every round, and the full hidden state via the fingerprint encodings.
+func TestDenseMatchesAgentsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range denseCases(rng) {
+		t.Run(tc.alg.Name(), func(t *testing.T) {
+			d, ok := core.AsDense(tc.alg)
+			if !ok {
+				t.Fatalf("%s does not implement the dense backend", tc.alg.Name())
+			}
+			for trial := 0; trial < 20; trial++ {
+				c := core.NewConfig(tc.alg, tc.inputs)
+				r := core.NewDenseRunner(d, tc.inputs)
+				rounds := 1 + rng.Intn(24)
+				for round := 1; round <= rounds; round++ {
+					g := graph.Random(rng, tc.n, 0.15+0.7*rng.Float64())
+					c = c.Step(g)
+					r.Step(g)
+					for i := 0; i < tc.n; i++ {
+						want, got := c.Output(i), r.Output(i)
+						if math.Float64bits(want) != math.Float64bits(got) {
+							t.Fatalf("trial %d round %d agent %d: dense output %v != agent output %v",
+								trial, round, i, got, want)
+						}
+					}
+					assertSameFingerprint(t, c, d, r.State(),
+						fmt.Sprintf("trial %d round %d", trial, round))
+				}
+			}
+		})
+	}
+}
+
+// assertSameFingerprint compares the full hidden state of the two
+// backends via the canonical fingerprints (when the algorithm supports
+// them).
+func assertSameFingerprint(t *testing.T, c *core.Config, d core.DenseAlgorithm, st *core.DenseState, ctx string) {
+	t.Helper()
+	agentFP, okA := c.AppendFingerprint(nil)
+	denseFP, okD := core.AppendDenseFingerprint(d, st, nil)
+	if okA != okD {
+		t.Fatalf("%s: fingerprint support differs: agents %v, dense %v", ctx, okA, okD)
+	}
+	if okA && !bytes.Equal(agentFP, denseFP) {
+		t.Fatalf("%s: dense fingerprint differs from agent fingerprint\nagents: %x\ndense:  %x",
+			ctx, agentFP, denseFP)
+	}
+}
+
+// TestDenseBridgeRoundTrip drives the agent path for a prefix, bridges
+// the configuration into dense state mid-run, continues both backends,
+// and checks the dense continuation and its re-materialized configuration
+// stay bit-identical to the pure agent run.
+func TestDenseBridgeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range denseCases(rng) {
+		t.Run(tc.alg.Name(), func(t *testing.T) {
+			c := core.NewConfig(tc.alg, tc.inputs)
+			prefix := make([]graph.Graph, 4)
+			for i := range prefix {
+				prefix[i] = graph.Random(rng, tc.n, 0.5)
+				c = c.Step(prefix[i])
+			}
+			r, ok := core.DenseRunnerFromConfig(c)
+			if !ok {
+				t.Fatalf("%s: configuration did not bridge into dense state", tc.alg.Name())
+			}
+			if r.Round() != c.Round() {
+				t.Fatalf("bridge lost the round counter: %d != %d", r.Round(), c.Round())
+			}
+			for round := 0; round < 12; round++ {
+				g := graph.Random(rng, tc.n, 0.5)
+				c = c.Step(g)
+				r.Step(g)
+			}
+			mat := r.Config()
+			for i := 0; i < tc.n; i++ {
+				if math.Float64bits(c.Output(i)) != math.Float64bits(r.Output(i)) {
+					t.Fatalf("agent %d: dense continuation diverged", i)
+				}
+				if math.Float64bits(mat.Output(i)) != math.Float64bits(c.Output(i)) {
+					t.Fatalf("agent %d: materialized configuration diverged", i)
+				}
+			}
+			d, _ := core.AsDense(tc.alg)
+			assertSameFingerprint(t, c, d, r.State(), "post-continuation")
+			if fpA, okA := c.AppendFingerprint(nil); okA {
+				fpM, okM := mat.AppendFingerprint(nil)
+				if !okM || !bytes.Equal(fpA, fpM) {
+					t.Fatal("materialized configuration fingerprint differs from the agent run")
+				}
+			}
+		})
+	}
+}
+
+// TestDenseForkIndependence checks the dense fork semantics the valency
+// machinery relies on: a fork is an independent copy and the parent's
+// subsequent steps do not leak into it (and vice versa).
+func TestDenseForkIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inputs := []float64{0, 1, 0.25, 0.75, 0.5, -0.5}
+	d, _ := core.AsDense(algorithms.AmortizedMidpoint{})
+	r := core.NewDenseRunner(d, inputs)
+	g1 := graph.Random(rng, 6, 0.5)
+	g2 := graph.Random(rng, 6, 0.5)
+	r.Step(g1)
+	fork := r.Fork()
+	// Diverge the parent; the fork must be unaffected.
+	r.Step(g2)
+	want := core.NewConfig(algorithms.AmortizedMidpoint{}, inputs).Step(g1)
+	for i := 0; i < 6; i++ {
+		if math.Float64bits(fork.Output(i)) != math.Float64bits(want.Output(i)) {
+			t.Fatalf("fork agent %d corrupted by parent step", i)
+		}
+	}
+	// Diverge the fork; the parent's successor must match the reference.
+	fork.Step(g1)
+	wantParent := want.Step(g2)
+	for i := 0; i < 6; i++ {
+		if math.Float64bits(r.Output(i)) != math.Float64bits(wantParent.Output(i)) {
+			t.Fatalf("parent agent %d corrupted by fork step", i)
+		}
+	}
+}

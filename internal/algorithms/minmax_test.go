@@ -1,0 +1,30 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFminFmaxMatchMath pins the inlinable fold primitives against
+// math.Min/math.Max bit for bit over all pairs of special and ordinary
+// values — NaN canonicalization and the -0/+0 tie-breaks included — which
+// is what licenses substituting them in the dense steppers.
+func TestFminFmaxMatchMath(t *testing.T) {
+	values := []float64{
+		math.Inf(-1), -math.MaxFloat64, -2.5, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1, 2.5,
+		math.MaxFloat64, math.Inf(1), math.NaN(),
+	}
+	for _, x := range values {
+		for _, y := range values {
+			if got, want := fmin(x, y), math.Min(x, y); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("fmin(%v, %v) = %v (bits %x), math.Min = %v (bits %x)",
+					x, y, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+			if got, want := fmax(x, y), math.Max(x, y); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("fmax(%v, %v) = %v (bits %x), math.Max = %v (bits %x)",
+					x, y, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}

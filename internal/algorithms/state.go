@@ -18,6 +18,8 @@ const (
 	tagSelfWeighted
 	tagAmortized
 	tagFlowSum
+	tagQuantized
+	tagFloodRoot
 )
 
 // AppendFingerprint implements core.Fingerprinter.
@@ -111,6 +113,43 @@ func (a *flowSumAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
 // CopyStateFrom implements core.StateCopier.
 func (a *flowSumAgent) CopyStateFrom(src core.Agent) bool {
 	s, ok := src.(*flowSumAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *quantizedAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagQuantized)
+	dst = core.AppendFloat(dst, a.q)
+	return core.AppendFloat(dst, a.y), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *quantizedAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*quantizedAgent)
+	if ok {
+		*a = *s
+	}
+	return ok
+}
+
+// AppendFingerprint implements core.Fingerprinter.
+func (a *floodRootAgent) AppendFingerprint(dst []byte) ([]byte, bool) {
+	dst = append(dst, tagFloodRoot)
+	informed := 0
+	if a.informed {
+		informed = 1
+	}
+	dst = core.AppendInt(dst, informed)
+	dst = core.AppendFloat(dst, a.y)
+	return core.AppendFloat(dst, a.rootValue), true
+}
+
+// CopyStateFrom implements core.StateCopier.
+func (a *floodRootAgent) CopyStateFrom(src core.Agent) bool {
+	s, ok := src.(*floodRootAgent)
 	if ok {
 		*a = *s
 	}

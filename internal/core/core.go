@@ -79,6 +79,7 @@ type StateCopier interface {
 type Config struct {
 	n      int
 	round  int
+	alg    Algorithm // the algorithm the agents run; nil for hand-built configs
 	agents []Agent
 
 	// Reusable scratch for StepInto/StepInPlace; never part of the
@@ -98,8 +99,13 @@ func NewConfig(alg Algorithm, inputs []float64) *Config {
 	for i, v := range inputs {
 		agents[i] = alg.NewAgent(i, n, v)
 	}
-	return &Config{n: n, agents: agents}
+	return &Config{n: n, alg: alg, agents: agents}
 }
+
+// Algorithm returns the algorithm the configuration was created for, or
+// nil for hand-assembled configurations. The dense execution backend uses
+// it to locate the flat-state stepper matching the agents.
+func (c *Config) Algorithm() Algorithm { return c.alg }
 
 // N returns the number of agents.
 func (c *Config) N() int { return c.n }
@@ -154,7 +160,7 @@ func (c *Config) Clone() *Config {
 	for i, a := range c.agents {
 		agents[i] = a.Clone()
 	}
-	return &Config{n: c.n, round: c.round, agents: agents}
+	return &Config{n: c.n, round: c.round, alg: c.alg, agents: agents}
 }
 
 // Step applies one round with communication graph g and returns the
@@ -182,7 +188,7 @@ func (c *Config) Step(g graph.Graph) *Config {
 		}
 		next[j].Deliver(round, inbox)
 	}
-	return &Config{n: c.n, round: round, agents: next}
+	return &Config{n: c.n, round: round, alg: c.alg, agents: next}
 }
 
 // StepInPlace applies one round with communication graph g by mutating
@@ -245,6 +251,7 @@ func (c *Config) StepInto(dst *Config, g graph.Graph) {
 	round := c.round + 1
 	dst.n = c.n
 	dst.round = round
+	dst.alg = c.alg
 	if cap(dst.agents) < c.n {
 		dst.agents = make([]Agent, c.n)
 	}

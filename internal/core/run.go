@@ -19,12 +19,36 @@ type PatternSource interface {
 	Next(round int, c *Config) graph.Graph
 }
 
+// Oblivious is an optional PatternSource capability marking sources whose
+// Next ignores the configuration argument (benign schedulers, in the
+// terminology of the paper's upper bounds). Only oblivious sources can
+// drive the dense backend, which has no *Config to offer and passes nil;
+// adaptive adversaries keep the Agent path.
+type Oblivious interface {
+	// ObliviousSource reports that Next never reads its Config argument.
+	ObliviousSource() bool
+}
+
+// obliviousSource reports whether src may be driven with a nil Config.
+func obliviousSource(src PatternSource) bool {
+	o, ok := src.(Oblivious)
+	return ok && o.ObliviousSource()
+}
+
+// IsOblivious reports whether src declares itself configuration-
+// independent (see Oblivious); only such sources can drive the dense
+// backend.
+func IsOblivious(src PatternSource) bool { return obliviousSource(src) }
+
 // Fixed is a PatternSource that plays the same graph every round — the
 // classical fixed-topology setting.
 type Fixed struct{ G graph.Graph }
 
 // Next implements PatternSource.
 func (f Fixed) Next(int, *Config) graph.Graph { return f.G }
+
+// ObliviousSource implements Oblivious.
+func (Fixed) ObliviousSource() bool { return true }
 
 // Cycle plays the given graphs in round-robin order.
 type Cycle struct{ Graphs []graph.Graph }
@@ -36,6 +60,9 @@ func (c Cycle) Next(round int, _ *Config) graph.Graph {
 	}
 	return c.Graphs[(round-1)%len(c.Graphs)]
 }
+
+// ObliviousSource implements Oblivious.
+func (Cycle) ObliviousSource() bool { return true }
 
 // Sequence plays the given finite prefix and then repeats the final graph
 // forever.
@@ -52,6 +79,9 @@ func (s Sequence) Next(round int, _ *Config) graph.Graph {
 	return s.Graphs[len(s.Graphs)-1]
 }
 
+// ObliviousSource implements Oblivious.
+func (Sequence) ObliviousSource() bool { return true }
+
 // RandomFromModel draws a uniformly random member of a network model each
 // round, using its own RNG for reproducibility.
 type RandomFromModel struct {
@@ -63,6 +93,9 @@ type RandomFromModel struct {
 func (r RandomFromModel) Next(int, *Config) graph.Graph {
 	return r.Model.Graph(r.Rng.Intn(r.Model.Size()))
 }
+
+// ObliviousSource implements Oblivious.
+func (RandomFromModel) ObliviousSource() bool { return true }
 
 // Func adapts a function to a PatternSource.
 type Func func(round int, c *Config) graph.Graph
@@ -83,13 +116,42 @@ type Trace struct {
 }
 
 // Run executes alg from the given inputs for the given number of rounds,
-// drawing graphs from src, and returns the trace.
+// drawing graphs from src, and returns the trace. The execution backend
+// is CurrentBackend(): with the dense backend enabled (the default) and a
+// dense-capable algorithm under an oblivious source, the round loop runs
+// on flat struct-of-arrays state; the result is bit-identical either way.
 func Run(alg Algorithm, inputs []float64, src PatternSource, rounds int) *Trace {
-	return RunConfig(alg.Name(), NewConfig(alg, inputs), src, rounds)
+	return RunBackend(alg, inputs, src, rounds, CurrentBackend())
 }
 
-// RunConfig continues an execution from an existing configuration.
+// RunBackend is Run with an explicit backend selection.
+func RunBackend(alg Algorithm, inputs []float64, src PatternSource, rounds int, backend Backend) *Trace {
+	if backend.DenseEnabled() && obliviousSource(src) {
+		if d, ok := AsDense(alg); ok {
+			return runDense(alg.Name(), NewDenseRunner(d, inputs), src, rounds)
+		}
+	}
+	return runAgents(alg.Name(), NewConfig(alg, inputs), src, rounds)
+}
+
+// RunConfig continues an execution from an existing configuration, again
+// selecting the backend via CurrentBackend().
 func RunConfig(name string, c *Config, src PatternSource, rounds int) *Trace {
+	return RunConfigBackend(name, c, src, rounds, CurrentBackend())
+}
+
+// RunConfigBackend is RunConfig with an explicit backend selection.
+func RunConfigBackend(name string, c *Config, src PatternSource, rounds int, backend Backend) *Trace {
+	if backend.DenseEnabled() && obliviousSource(src) {
+		if r, ok := DenseRunnerFromConfig(c); ok {
+			return runDense(name, r, src, rounds)
+		}
+	}
+	return runAgents(name, c, src, rounds)
+}
+
+// runAgents is the interface-based round loop — the reference backend.
+func runAgents(name string, c *Config, src PatternSource, rounds int) *Trace {
 	if rounds < 0 {
 		panic(fmt.Sprintf("core: negative round count %d", rounds))
 	}
@@ -111,6 +173,30 @@ func RunConfig(name string, c *Config, src PatternSource, rounds int) *Trace {
 		tr.Outputs = append(tr.Outputs, cur.Outputs())
 	}
 	tr.Final = cur
+	return tr
+}
+
+// runDense is the dense round loop. src must be oblivious: it is handed a
+// nil configuration. The trace's Final configuration is materialized from
+// the dense state after the last round.
+func runDense(name string, r *DenseRunner, src PatternSource, rounds int) *Trace {
+	if rounds < 0 {
+		panic(fmt.Sprintf("core: negative round count %d", rounds))
+	}
+	tr := &Trace{
+		Algorithm: name,
+		Inputs:    r.Outputs(),
+		Graphs:    make([]graph.Graph, 0, rounds),
+		Outputs:   make([][]float64, 0, rounds+1),
+	}
+	tr.Outputs = append(tr.Outputs, r.Outputs())
+	for t := 1; t <= rounds; t++ {
+		g := src.Next(r.Round()+1, nil)
+		r.Step(g)
+		tr.Graphs = append(tr.Graphs, g)
+		tr.Outputs = append(tr.Outputs, r.Outputs())
+	}
+	tr.Final = r.Config()
 	return tr
 }
 

@@ -455,6 +455,10 @@ type walker struct {
 	levelKeys [][]byte
 	// chain holds the settle-loop fingerprint keys for table pre-filling.
 	chain [][]byte
+	// denseA/denseB ping-pong through dense settle loops; denseOut is the
+	// observable-output scratch for their convergence checks.
+	denseA, denseB core.DenseState
+	denseOut       []float64
 }
 
 // level returns the scratch configuration of tree level i.
@@ -540,6 +544,74 @@ func (w *walker) chainKey(i int) []byte {
 	return w.chain[i][:0]
 }
 
+// chainRecorder carries the settle-chain memoization policy of a limit
+// computation — which configurations get recorded, how many, and how the
+// resolved limit is committed to the engine's table. It is shared by the
+// agent and dense settle loops so their caching behavior cannot diverge
+// (the transposition table is common to both backends).
+type chainRecorder struct {
+	w        *walker
+	k        int
+	memo     bool
+	chainLen int
+	maxChain int
+}
+
+// newChainRecorder starts a recording for graph k. Pre-filling deeper
+// than Depth+1 configurations down the chain is pointless: the execution
+// tree can never reach them, so their entries would only bloat the table
+// and the insert cost.
+func (w *walker) newChainRecorder(k int, memo bool) chainRecorder {
+	return chainRecorder{w: w, k: k, memo: memo, maxChain: w.e.params.Depth + 1}
+}
+
+// active reports whether the next configuration should be fingerprinted;
+// buffer returns the scratch to fingerprint it into.
+func (r *chainRecorder) active() bool   { return r.memo && r.chainLen < r.maxChain }
+func (r *chainRecorder) buffer() []byte { return r.w.chainKey(r.chainLen) }
+
+// commit finishes recording one configuration from its fingerprint
+// (fp, ok as returned by the AppendFingerprint flavor in use); a
+// non-fingerprintable configuration turns the whole recording off.
+func (r *chainRecorder) commit(fp []byte, ok bool) {
+	if !ok {
+		r.memo = false
+		return
+	}
+	r.w.chain[r.chainLen] = appendGraph(fp, r.k)
+	r.chainLen++
+}
+
+// fill stores the resolved limit for every recorded chain configuration:
+// repeating k from G_k^i.C converges to the same limit through the same
+// configurations, so one settle loop resolves its entire chain at once.
+func (r *chainRecorder) fill(limit float64, ok bool) {
+	if !r.memo {
+		return
+	}
+	e := r.w.e
+	e.mu.Lock()
+	for i := 0; i < r.chainLen && len(e.limits) < maxEntriesPerTable; i++ {
+		e.limits[string(r.w.chain[i])] = limitEntry{limit: limit, ok: ok}
+	}
+	e.mu.Unlock()
+}
+
+// fillNotConverged stores the failure verdict for the chain's first
+// configuration only: the verdict holds just for c itself — an
+// intermediate configuration still has its full Settle budget ahead.
+func (r *chainRecorder) fillNotConverged() {
+	if !r.memo || r.chainLen == 0 {
+		return
+	}
+	e := r.w.e
+	e.mu.Lock()
+	if len(e.limits) < maxEntriesPerTable {
+		e.limits[string(r.w.chain[0])] = limitEntry{ok: false}
+	}
+	e.mu.Unlock()
+}
+
 // limit computes (memoized) the limit of the constant-graph-k
 // continuation from c. On a miss it runs the settle loop on the walker's
 // ping-pong scratch pair and then pre-fills the table for every
@@ -564,41 +636,21 @@ func (w *walker) limit(c *core.Config, k int) (float64, bool) {
 		atomic.AddUint64(&e.limitMisses, 1)
 	}
 
+	if limit, ok, handled := w.denseLimit(c, k, memo); handled {
+		return limit, ok
+	}
+
 	settle, tol := e.params.Settle, e.params.Tol
 	cur := c
-	chainLen := 0
-	// Pre-filling deeper than Depth+1 configurations down the chain is
-	// pointless: the execution tree can never reach them, so their entries
-	// would only bloat the table and the insert cost.
-	maxChain := e.params.Depth + 1
-	record := func(cfg *core.Config) {
-		if !memo || chainLen >= maxChain {
-			return
-		}
-		buf, ok := cfg.AppendFingerprint(w.chainKey(chainLen))
-		if !ok {
-			memo = false
-			return
-		}
-		w.chain[chainLen] = appendGraph(buf, k)
-		chainLen++
-	}
-	fill := func(limit float64, ok bool) {
-		if !memo {
-			return
-		}
-		e.mu.Lock()
-		for i := 0; i < chainLen && len(e.limits) < maxEntriesPerTable; i++ {
-			e.limits[string(w.chain[i])] = limitEntry{limit: limit, ok: ok}
-		}
-		e.mu.Unlock()
-	}
+	rec := w.newChainRecorder(k, memo)
 	for r := 0; ; r++ {
-		record(cur)
+		if rec.active() {
+			rec.commit(cur.AppendFingerprint(rec.buffer()))
+		}
 		if cur.Diameter() <= tol {
 			lo, hi := cur.Hull()
 			limit := (lo + hi) / 2
-			fill(limit, true)
+			rec.fill(limit, true)
 			return limit, true
 		}
 		if r == settle {
@@ -611,14 +663,63 @@ func (w *walker) limit(c *core.Config, k int) (float64, bool) {
 		cur.StepInto(next, g)
 		cur = next
 	}
-	// Not converged: the verdict only holds for c itself — an intermediate
-	// configuration still has its full Settle budget ahead of it.
-	if memo {
-		e.mu.Lock()
-		if len(e.limits) < maxEntriesPerTable {
-			e.limits[string(w.chain[0])] = limitEntry{ok: false}
-		}
-		e.mu.Unlock()
-	}
+	rec.fillNotConverged()
 	return 0, false
+}
+
+// denseLimit is the dense-backend settle loop: the same chain recording,
+// convergence test, and table pre-fill as the agent loop below it in
+// limit, but stepping flat struct-of-arrays state instead of cloning and
+// delivering messages. handled is false when the configuration must take
+// the agent path: dense backend disabled, algorithm not dense-capable, no
+// dense fingerprints while memoization is on (the chain pre-fill would be
+// lost), or agents that cannot export their state.
+func (w *walker) denseLimit(c *core.Config, k int, memo bool) (limit float64, okLimit, handled bool) {
+	if !core.CurrentBackend().DenseEnabled() {
+		return 0, false, false
+	}
+	alg := c.Algorithm()
+	if alg == nil {
+		return 0, false, false
+	}
+	d, ok := core.AsDense(alg)
+	if !ok {
+		return 0, false, false
+	}
+	if _, fpOK := d.(core.DenseFingerprinter); memo && !fpOK {
+		return 0, false, false
+	}
+	if !c.WriteDense(&w.denseA) {
+		return 0, false, false
+	}
+	e := w.e
+	g := e.model.Graph(k)
+	n := c.N()
+	if cap(w.denseOut) < n {
+		w.denseOut = make([]float64, n)
+	}
+	out := w.denseOut[:n]
+
+	settle, tol := e.params.Settle, e.params.Tol
+	cur, next := &w.denseA, &w.denseB
+	rec := w.newChainRecorder(k, memo)
+	for r := 0; ; r++ {
+		if rec.active() {
+			rec.commit(core.AppendDenseFingerprint(d, cur, rec.buffer()))
+		}
+		d.OutputsDense(cur, out)
+		lo, hi := core.Hull(out)
+		if hi-lo <= tol {
+			limit := (lo + hi) / 2
+			rec.fill(limit, true)
+			return limit, true, true
+		}
+		if r == settle {
+			break
+		}
+		core.DenseStep(d, next, cur, g)
+		cur, next = next, cur
+	}
+	rec.fillNotConverged()
+	return 0, false, true
 }

@@ -100,15 +100,28 @@ func InBox(p, lo, hi Point, tol float64) bool {
 
 // Runner executes a scalar consensus algorithm coordinate-wise on
 // d-dimensional inputs under a single shared communication pattern.
+//
+// The execution backend follows core.CurrentBackend() at construction:
+// with the dense backend enabled and a dense-capable algorithm, every
+// coordinate runs on flat struct-of-arrays state (one core.DenseRunner
+// per coordinate) instead of agent configurations; the two backends are
+// bit-identical.
 type Runner struct {
 	alg     core.Algorithm
 	dim     int
-	configs []*core.Config // one per coordinate
+	n       int
+	configs []*core.Config      // one per coordinate (agents backend)
+	dense   []*core.DenseRunner // one per coordinate (dense backend)
 }
 
 // NewRunner builds the per-coordinate configurations from the initial
 // points (one per agent; all points must share a dimension >= 1).
 func NewRunner(alg core.Algorithm, inputs []Point) (*Runner, error) {
+	return NewRunnerBackend(alg, inputs, core.CurrentBackend())
+}
+
+// NewRunnerBackend is NewRunner with an explicit backend selection.
+func NewRunnerBackend(alg core.Algorithm, inputs []Point, backend core.Backend) (*Runner, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("vector: no agents")
 	}
@@ -121,37 +134,67 @@ func NewRunner(alg core.Algorithm, inputs []Point) (*Runner, error) {
 			return nil, fmt.Errorf("vector: agent %d has dimension %d, want %d", i, len(p), dim)
 		}
 	}
-	configs := make([]*core.Config, dim)
+	r := &Runner{alg: alg, dim: dim, n: len(inputs)}
+	d, denseOK := core.AsDense(alg)
+	useDense := backend.DenseEnabled() && denseOK
+	coords := make([]float64, len(inputs))
 	for c := 0; c < dim; c++ {
-		coords := make([]float64, len(inputs))
 		for i, p := range inputs {
 			coords[i] = p[c]
 		}
-		configs[c] = core.NewConfig(alg, coords)
+		if useDense {
+			r.dense = append(r.dense, core.NewDenseRunner(d, coords))
+		} else {
+			r.configs = append(r.configs, core.NewConfig(alg, coords))
+		}
 	}
-	return &Runner{alg: alg, dim: dim, configs: configs}, nil
+	return r, nil
 }
 
 // Dim returns the value dimension.
 func (r *Runner) Dim() int { return r.dim }
 
 // N returns the number of agents.
-func (r *Runner) N() int { return r.configs[0].N() }
+func (r *Runner) N() int { return r.n }
 
 // Round returns the number of completed rounds.
-func (r *Runner) Round() int { return r.configs[0].Round() }
+func (r *Runner) Round() int {
+	if r.dense != nil {
+		return r.dense[0].Round()
+	}
+	return r.configs[0].Round()
+}
 
 // Step applies one round with communication graph g to every coordinate.
 func (r *Runner) Step(g graph.Graph) {
+	if r.dense != nil {
+		for _, dr := range r.dense {
+			dr.Step(g)
+		}
+		return
+	}
 	for c := range r.configs {
 		r.configs[c] = r.configs[c].Step(g)
 	}
 }
 
-// Run applies rounds drawn from src.
+// Run applies rounds drawn from src. On the dense backend, oblivious
+// sources (core.Oblivious) are queried without a configuration; a
+// configuration-inspecting source is handed coordinate 0's state
+// materialized as agents, so adaptive adversaries remain correct (if
+// slower — force core.BackendAgents for adversarial vector runs).
 func (r *Runner) Run(src core.PatternSource, rounds int) {
 	for t := 0; t < rounds; t++ {
-		r.Step(src.Next(r.Round()+1, r.configs[0]))
+		var g graph.Graph
+		switch {
+		case r.dense == nil:
+			g = src.Next(r.Round()+1, r.configs[0])
+		case core.IsOblivious(src):
+			g = src.Next(r.Round()+1, nil)
+		default:
+			g = src.Next(r.Round()+1, r.dense[0].Config())
+		}
+		r.Step(g)
 	}
 }
 
@@ -160,11 +203,22 @@ func (r *Runner) Positions() []Point {
 	n := r.N()
 	out := make([]Point, n)
 	for i := 0; i < n; i++ {
-		p := make(Point, r.dim)
-		for c := 0; c < r.dim; c++ {
-			p[c] = r.configs[c].Output(i)
+		out[i] = make(Point, r.dim)
+	}
+	if r.dense != nil {
+		coords := make([]float64, n)
+		for c, dr := range r.dense {
+			dr.Alg().OutputsDense(dr.State(), coords)
+			for i := 0; i < n; i++ {
+				out[i][c] = coords[i]
+			}
 		}
-		out[i] = p
+		return out
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < r.dim; c++ {
+			out[i][c] = r.configs[c].Output(i)
+		}
 	}
 	return out
 }
