@@ -1,25 +1,32 @@
 // Command asyncsim runs the asynchronous message-passing simulator of
-// Section 8: round-based algorithms (midpoint, Fekete-style selected
-// mean) and the non-round-based MinRelay algorithm, under random delays
-// and a crash schedule, reporting the diameter of the correct agents over
-// time.
+// Section 8: the non-round-based MinRelay algorithm, or any algorithm
+// from the consensus registry embedded round-based (wait for n-f messages
+// per round), under random delays and a crash schedule, reporting the
+// diameter of the correct agents over time.
+//
+// The -proc switch resolves through the public algorithm registry, so
+// every registered update rule — including the quantized and flood-root
+// variants — runs here too; "midpoint" and "selectedmean" keep their
+// classical meaning.
 //
 // Usage:
 //
 //	asyncsim -proc minrelay -n 6 -f 3
 //	asyncsim -proc midpoint -n 5 -f 2 -rounds 20
 //	asyncsim -proc selectedmean -n 9 -f 3 -rounds 20 -seed 7
+//	asyncsim -proc quantized:0.125 -n 6 -f 2 -rounds 25
+//	asyncsim -proc floodroot:0 -n 6 -f 2
 //	asyncsim -proc minrelay -n 6 -f 3 -worstcase
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
-	"repro/internal/async"
+	"repro/consensus"
 )
 
 func main() {
@@ -32,7 +39,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asyncsim", flag.ContinueOnError)
 	fs.SetOutput(out)
-	proc := fs.String("proc", "minrelay", "process kind: minrelay | midpoint | selectedmean")
+	proc := fs.String("proc", "minrelay", "process kind: minrelay | any algorithm spec (midpoint, selectedmean, quantized:Q, floodroot:ROOT, ...)")
 	n := fs.Int("n", 6, "number of agents")
 	f := fs.Int("f", 2, "crash budget (also the round-based wait threshold n-f)")
 	rounds := fs.Int("rounds", 20, "round cap for round-based algorithms")
@@ -46,82 +53,28 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need n >= 2 and 0 <= f < n, got n=%d f=%d", *n, *f)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	inputs := make([]float64, *n)
-	for i := range inputs {
-		inputs[i] = rng.Float64()
-	}
-	if *worst {
-		// The Theorem 7 worst case relays a unique minimum through a chain
-		// of f unclean crashes; all other inputs coincide so that nothing
-		// else triggers relays (and premature crash broadcasts).
-		inputs[0] = -1
-		for i := 1; i < *n; i++ {
-			inputs[i] = 1
-		}
-	}
-
-	procs := make([]async.Process, *n)
-	switch *proc {
-	case "minrelay":
-		for i := range procs {
-			procs[i] = async.NewMinRelay(i, inputs[i])
-		}
-	case "midpoint":
-		for i := range procs {
-			procs[i] = async.NewRoundBased(i, *n, *f, inputs[i], async.MidpointUpdate, *rounds)
-		}
-	case "selectedmean":
-		if *f < 1 {
-			return fmt.Errorf("selectedmean needs f >= 1")
-		}
-		for i := range procs {
-			procs[i] = async.NewRoundBased(i, *n, *f, inputs[i], async.SelectedMeanUpdate(*f), *rounds)
-		}
-	default:
-		return fmt.Errorf("unknown process kind %q", *proc)
-	}
-
-	var crashes []async.Crash
-	if *worst {
-		crashes = append(crashes, async.Crash{Agent: 0, AfterBroadcasts: 0, Recipients: 1 << 1})
-		for i := 1; i < *f; i++ {
-			crashes = append(crashes, async.Crash{Agent: i, AfterBroadcasts: 1, Recipients: 1 << uint(i+1)})
-		}
-	} else {
-		perm := rng.Perm(*n)
-		for _, a := range perm[:*f] {
-			crashes = append(crashes, async.Crash{
-				Agent:           a,
-				AfterBroadcasts: rng.Intn(3),
-				Recipients:      uint64(rng.Intn(1 << uint(*n))),
-			})
-		}
-	}
-
-	delay := async.UniformDelays(*seed, 0.05)
-	if *worst {
-		delay = async.ConstantDelay(1)
-	}
-	sim, err := async.NewSimulator(procs, delay, crashes)
+	res, err := consensus.AsyncRun(context.Background(), consensus.AsyncSpec{
+		Process:   *proc,
+		N:         *n,
+		F:         *f,
+		Rounds:    *rounds,
+		Seed:      *seed,
+		WorstCase: *worst,
+	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "asyncsim: %s, n=%d f=%d, %d crashes scheduled\n", *proc, *n, *f, len(crashes))
+	fmt.Fprintf(out, "asyncsim: %s, n=%d f=%d, %d crashes scheduled\n",
+		*proc, res.N, res.F, res.ScheduledCrashes)
 	fmt.Fprintf(out, "%8s  %10s  %s\n", "time", "deliveries", "diameter(correct)")
-	horizon := float64(*f + 2)
-	if *proc != "minrelay" {
-		horizon = float64(*rounds + 2)
+	for _, s := range res.Samples {
+		fmt.Fprintf(out, "%8.1f  %10d  %.6g\n", s.Time, s.Delivered, s.Diameter)
 	}
-	for t := 0.5; t <= horizon; t += 0.5 {
-		sim.RunUntil(t)
-		fmt.Fprintf(out, "%8.1f  %10d  %.6g\n", t, sim.Delivered(), sim.CorrectDiameter())
-	}
-	fmt.Fprintf(out, "\nfinal outputs (correct agents): %.4g\n", sim.CorrectOutputs())
-	if *proc == "minrelay" {
+	fmt.Fprintf(out, "\nfinal outputs (correct agents): %.4g\n", res.FinalOutputs)
+	if res.MinRelayAgreed != nil {
 		fmt.Fprintf(out, "Theorem 7: all correct agents equal by time f+1 = %d -> %v\n",
-			*f+1, sim.CorrectDiameter() == 0)
+			*f+1, *res.MinRelayAgreed)
 	}
 	return nil
 }

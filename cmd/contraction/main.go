@@ -4,6 +4,9 @@
 // certified valency-diameter floor, and the fitted contraction rate next
 // to the model's proven lower bound.
 //
+// It is a thin shell over the public consensus facade: one streaming
+// session with the valency floor enabled.
+//
 // Usage:
 //
 //	contraction -model twoagent -alg twothirds -inputs 0,1 -rounds 8
@@ -18,16 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/spec"
-	"repro/internal/valency"
+	"repro/consensus"
 )
 
 func main() {
@@ -40,112 +40,71 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("contraction", flag.ContinueOnError)
 	fs.SetOutput(out)
-	modelSpec := fs.String("model", "twoagent", "model spec (see internal/spec)")
+	modelSpec := fs.String("model", "twoagent", "model spec (see the consensus Models registry)")
 	algSpec := fs.String("alg", "midpoint", "algorithm spec")
-	advKind := fs.String("adversary", "greedy", "pattern source: greedy | random | cycle")
+	advKind := fs.String("adversary", "greedy", "pattern source: greedy | random | cycle | ...")
 	inputsStr := fs.String("inputs", "", "comma-separated initial values (default: 0,1,0.5,...)")
 	rounds := fs.Int("rounds", 8, "number of rounds")
 	depth := fs.Int("depth", 3, "valency exploration depth for the greedy adversary")
 	seed := fs.Int64("seed", 1, "seed for the random scheduler")
-	backendStr := fs.String("backend", "auto", "execution backend: auto | agents | dense")
+	backend := consensus.BackendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := backend.Install(); err != nil {
+		return err
+	}
 
-	backend, err := core.ParseBackend(*backendStr)
-	if err != nil {
-		return err
+	opts := []consensus.Option{
+		consensus.WithModel(*modelSpec),
+		consensus.WithAlgorithm(*algSpec),
+		consensus.WithAdversary(*advKind),
+		consensus.WithRounds(*rounds),
+		consensus.WithDepth(*depth),
+		consensus.WithSeed(*seed),
+		consensus.WithValencyFloor(),
 	}
-	core.SetDefaultBackend(backend)
-
-	m, err := spec.ParseModel(*modelSpec)
-	if err != nil {
-		return err
-	}
-	alg, err := spec.ParseAlgorithm(*algSpec, m.N())
-	if err != nil {
-		return err
-	}
-	inputs := make([]float64, m.N())
 	if *inputsStr != "" {
-		inputs, err = spec.ParseFloats(*inputsStr)
+		inputs, err := consensus.ParseFloats(*inputsStr)
 		if err != nil {
 			return err
 		}
-		if len(inputs) != m.N() {
-			return fmt.Errorf("got %d inputs for %d agents", len(inputs), m.N())
-		}
-	} else {
-		inputs[1%m.N()] = 1
-		for i := 2; i < m.N(); i++ {
-			inputs[i] = 0.5
-		}
+		opts = append(opts, consensus.WithInputs(inputs...))
 	}
-
-	est := valency.NewEstimator(m, *depth, alg.Convex())
-	newSrc := func() (core.PatternSource, error) {
-		switch *advKind {
-		case "greedy":
-			return &adversary.Greedy{Est: est}, nil
-		case "random":
-			return core.RandomFromModel{Model: m, Rng: rand.New(rand.NewSource(*seed))}, nil
-		case "cycle":
-			return core.Cycle{Graphs: m.Graphs()}, nil
-		default:
-			return nil, fmt.Errorf("unknown adversary %q", *advKind)
-		}
-	}
-	src, err := newSrc()
+	session, err := consensus.New(opts...)
 	if err != nil {
 		return err
 	}
 
-	bound := m.ContractionLowerBound()
+	_, n, graphs, _ := session.ModelInfo()
+	rate, theorem, _, _ := session.ContractionBound()
 	fmt.Fprintf(out, "model %s (n=%d, %d graphs), algorithm %s, adversary %s\n",
-		*modelSpec, m.N(), m.Size(), alg.Name(), *advKind)
-	fmt.Fprintf(out, "proven contraction lower bound: %.6g via %s\n\n", bound.Rate, bound.Theorem)
+		*modelSpec, n, graphs, session.Algorithm(), *advKind)
+	fmt.Fprintf(out, "proven contraction lower bound: %.6g via %s\n\n", rate, theorem)
 
 	fmt.Fprintf(out, "%5s  %-28s  %12s  %12s\n", "round", "graph", "Δ(y)", "δ-floor")
 	printRound := func(round int, name string, diam, floor float64) {
+		if name == "" {
+			name = "-"
+		}
 		if len(name) > 28 {
 			name = name[:25] + "..."
 		}
 		fmt.Fprintf(out, "%5d  %-28s  %12.6g  %12.6g\n", round, name, diam, floor)
 	}
-	if d, ok := core.AsDense(alg); ok && backend.DenseEnabled() && core.IsOblivious(src) {
-		// Dense race loop: flat state per round; configurations are only
-		// materialized for the (exploration-dominated) valency floor.
-		r := core.NewDenseRunner(d, inputs)
-		printRound(0, "-", r.Diameter(), est.DeltaLower(r.Config()))
-		for round := 1; round <= *rounds; round++ {
-			g := src.Next(round, nil)
-			r.Step(g)
-			floor := 0.0
-			if alg.Convex() {
-				floor = est.DeltaLower(r.Config())
-			}
-			printRound(round, g.String(), r.Diameter(), floor)
+
+	// One streaming pass: the per-round table and the fitted contraction
+	// come from the same race.
+	var diameters []float64
+	for snap, err := range session.Rounds(context.Background()) {
+		if err != nil {
+			return err
 		}
-	} else {
-		c := core.NewConfig(alg, inputs)
-		printRound(0, "-", c.Diameter(), est.DeltaLower(c))
-		for round := 1; round <= *rounds; round++ {
-			g := src.Next(round, c)
-			c = c.Step(g)
-			floor := 0.0
-			if alg.Convex() {
-				floor = est.DeltaLower(c)
-			}
-			printRound(round, g.String(), c.Diameter(), floor)
-		}
+		printRound(snap.Round, snap.Graph, snap.Diameter, snap.Floor)
+		diameters = append(diameters, snap.Diameter)
 	}
 
-	src2, err := newSrc()
-	if err != nil {
-		return err
-	}
-	tr := core.RunConfig(alg.Name(), core.NewConfig(alg, inputs), src2, *rounds)
 	fmt.Fprintf(out, "\nfitted per-round value contraction: %.6g (worst single round %.6g)\n",
-		tr.GeometricRate(), tr.WorstRoundRatio())
+		consensus.GeometricRate(diameters), consensus.WorstRoundRatio(diameters))
 	return nil
 }

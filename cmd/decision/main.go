@@ -2,6 +2,9 @@
 // the paper's approximate-consensus settings, the decision time of the
 // optimal decider next to the matching lower bound (Theorems 8-11).
 //
+// It is a thin shell over consensus.DecisionSweep — the same sweeps the
+// reprod query server serves at /api/v1/decision.
+//
 // Usage:
 //
 //	decision                  run the built-in sweeps
@@ -11,17 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 
-	"repro/internal/algorithms"
-	"repro/internal/approx"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/spec"
+	"repro/consensus"
 )
 
 func main() {
@@ -36,17 +36,15 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	epsStr := fs.String("eps", "1e-1,1e-2,1e-3,1e-4,1e-5,1e-6", "comma-separated tolerances")
 	n := fs.Int("n", 6, "system size for the non-split and rooted sweeps")
-	backendStr := fs.String("backend", "auto", "execution backend: auto | agents | dense")
+	backend := consensus.BackendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	backend, err := core.ParseBackend(*backendStr)
-	if err != nil {
+	if err := backend.Install(); err != nil {
 		return err
 	}
-	core.SetDefaultBackend(backend)
 
-	epss, err := spec.ParseFloats(*epsStr)
+	epss, err := consensus.ParseFloats(*epsStr)
 	if err != nil {
 		return err
 	}
@@ -59,38 +57,57 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("need n >= 4 for the rooted sweep, got %d", *n)
 	}
 
+	ctx := context.Background()
+	inputs := consensus.SpreadInputs(*n)
+
 	fmt.Fprintln(out, "n = 2, model {H0,H1,H2}, two-thirds decider (Theorem 8: >= log3(Δ/ε))")
-	d2 := approx.Decider{Alg: algorithms.TwoThirds{}, Contraction: 1.0 / 3.0}
-	printSweep(out, d2.Sweep([]float64{0, 1},
-		func() core.PatternSource { return core.Fixed{G: graph.H(1)} },
-		1, epss,
-		func(eps float64) float64 { return approx.Theorem8LowerBound(1, eps) }))
+	points, err := consensus.DecisionSweep(ctx, consensus.DecisionRequest{
+		Model:       "twoagent",
+		Algorithm:   "twothirds",
+		Adversary:   "fixed:1", // H1 every round
+		Inputs:      []float64{0, 1},
+		Contraction: 1.0 / 3.0,
+		Eps:         epss,
+		Theorem:     "T8",
+	})
+	if err != nil {
+		return err
+	}
+	printSweep(out, points)
 
 	fmt.Fprintf(out, "\nn = %d, model deaf(K_n), midpoint decider (Theorem 9: >= log2(Δ/ε))\n", *n)
-	inputs := make([]float64, *n)
-	inputs[1] = 1
-	for i := 2; i < *n; i++ {
-		inputs[i] = 0.5
+	points, err = consensus.DecisionSweep(ctx, consensus.DecisionRequest{
+		Model:       fmt.Sprintf("deaf:%d", *n),
+		Algorithm:   "midpoint",
+		Adversary:   "fixed:0", // deaf(K_n, 0) every round
+		Inputs:      inputs,
+		Contraction: 0.5,
+		Eps:         epss,
+		Theorem:     "T9",
+	})
+	if err != nil {
+		return err
 	}
-	dm := approx.Decider{Alg: algorithms.Midpoint{}, Contraction: 0.5}
-	printSweep(out, dm.Sweep(inputs,
-		func() core.PatternSource { return core.Fixed{G: graph.Deaf(graph.Complete(*n), 0)} },
-		1, epss,
-		func(eps float64) float64 { return approx.Theorem9LowerBound(1, eps) }))
+	printSweep(out, points)
 
 	fmt.Fprintf(out, "\nn = %d, Psi model, amortized midpoint decider (Theorem 10: >= (n-2)log2(Δ/ε))\n", *n)
-	da := approx.Decider{
-		Alg:         algorithms.AmortizedMidpoint{},
+	points, err = consensus.DecisionSweep(ctx, consensus.DecisionRequest{
+		Model:       fmt.Sprintf("psi:%d", *n),
+		Algorithm:   "amortized",
+		Adversary:   "cycle",
+		Inputs:      inputs,
 		Contraction: math.Pow(0.5, 1/float64(*n-1)),
+		Eps:         epss,
+		Theorem:     "T10",
+	})
+	if err != nil {
+		return err
 	}
-	printSweep(out, da.Sweep(inputs,
-		func() core.PatternSource { return core.Cycle{Graphs: graph.PsiFamily(*n)} },
-		1, epss,
-		func(eps float64) float64 { return approx.Theorem10LowerBound(*n, 1, eps) }))
+	printSweep(out, points)
 	return nil
 }
 
-func printSweep(out io.Writer, points []approx.SweepPoint) {
+func printSweep(out io.Writer, points []consensus.DecisionPoint) {
 	fmt.Fprintf(out, "%10s  %14s  %14s  %12s  %4s\n", "ε", "lower bound", "decider rounds", "spread", "ok")
 	for _, p := range points {
 		fmt.Fprintf(out, "%10.2g  %14.3f  %14d  %12.4g  %4v\n",

@@ -3,6 +3,9 @@
 // decision-time theorem) and prints the paper-claimed bound next to the
 // measured value.
 //
+// It is a thin shell over consensus.Experiments/RunExperiment — the same
+// registry the reprod query server serves at /api/v1/experiments.
+//
 // Usage:
 //
 //	paperbench                  run every experiment
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,8 +26,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/exp"
+	"repro/consensus"
 )
 
 func main() {
@@ -40,34 +43,35 @@ func run(args []string, out io.Writer) error {
 	runPat := fs.String("run", "", "only run experiments whose ID contains this substring")
 	format := fs.String("format", "table", "output format: table | csv")
 	quiet := fs.Bool("q", false, "suppress per-experiment timing lines")
-	backendStr := fs.String("backend", "auto", "execution backend: auto | agents | dense")
+	backend := consensus.BackendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	backend, err := core.ParseBackend(*backendStr)
-	if err != nil {
+	if err := backend.Install(); err != nil {
 		return err
 	}
-	core.SetDefaultBackend(backend)
 
 	if *list {
-		for _, e := range exp.All() {
+		for _, e := range consensus.Experiments() {
 			fmt.Fprintf(out, "%-24s %s (%s)\n", e.ID, e.Title, e.Paper)
 		}
 		return nil
 	}
 
 	matched := 0
-	for _, e := range exp.All() {
+	for _, e := range consensus.Experiments() {
 		if *runPat != "" && !strings.Contains(e.ID, *runPat) {
 			continue
 		}
 		matched++
 		start := time.Now()
-		table := e.Run()
+		table, err := consensus.RunExperiment(context.Background(), e.ID)
+		if err != nil {
+			return err
+		}
 		if *format == "csv" {
 			fmt.Fprintf(out, "## %s\n%s\n", e.ID, table.CSV())
 			continue

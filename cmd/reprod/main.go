@@ -1,0 +1,97 @@
+// Command reprod serves the public consensus facade as a long-lived JSON
+// query server: runs, sweeps, solvability and valency analysis,
+// asynchronous crash-fault simulations, and the paper-reproduction
+// experiments, with per-query timeouts and a response cache.
+//
+// Usage:
+//
+//	reprod                          serve on :8080
+//	reprod -addr 127.0.0.1:9090     choose the listen address
+//	reprod -query-timeout 10s       bound each query's computation
+//	reprod -backend agents          force the reference execution backend
+//
+// Endpoints (see package repro/consensus for the payloads):
+//
+//	GET  /healthz
+//	GET  /api/v1/registry
+//	POST /api/v1/run
+//	POST /api/v1/sweep
+//	GET  /api/v1/solvability?model=SPEC
+//	POST /api/v1/valency
+//	POST /api/v1/decision
+//	POST /api/v1/async
+//	GET  /api/v1/experiments
+//	POST /api/v1/experiment
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/consensus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}
+
+// newServer builds the server exactly as main serves it; the handler
+// tests drive it directly.
+func newServer(queryTimeout time.Duration, cacheSize int) *consensus.Server {
+	return consensus.NewServer(
+		consensus.ServerTimeout(queryTimeout),
+		consensus.ServerCacheSize(cacheSize),
+	)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reprod", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8080", "listen address")
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query computation budget")
+	cacheSize := fs.Int("cache", 1024, "response cache entries (0 disables)")
+	backend := consensus.BackendFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := backend.Install(); err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(*queryTimeout, *cacheSize),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "reprod: serving on %s (backend %s, query timeout %s)\n",
+		*addr, backend.Value(), *queryTimeout)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "reprod: shut down")
+	return nil
+}

@@ -3,6 +3,9 @@
 // classes, source-incompatibility, exact-consensus solvability, and the
 // strongest contraction-rate lower bound the paper proves for it.
 //
+// It is a thin shell over consensus.Solvability — the same report the
+// reprod query server serves at /api/v1/solvability.
+//
 // Usage:
 //
 //	solvability -model twoagent
@@ -13,13 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"repro/internal/graph"
-	"repro/internal/spec"
+	"repro/consensus"
 )
 
 func main() {
@@ -32,48 +35,46 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("solvability", flag.ContinueOnError)
 	fs.SetOutput(out)
-	modelSpec := fs.String("model", "twoagent", "model spec (see internal/spec)")
+	modelSpec := fs.String("model", "twoagent", "model spec (see the consensus Models registry)")
 	showGraphs := fs.Bool("graphs", false, "print every member graph")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	m, err := spec.ParseModel(*modelSpec)
+	r, err := consensus.Solvability(context.Background(), *modelSpec)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "model %q: n=%d agents, %d graphs\n", *modelSpec, m.N(), m.Size())
+	fmt.Fprintf(out, "model %q: n=%d agents, %d graphs\n", *modelSpec, r.N, r.Graphs)
 	if *showGraphs {
-		for i, g := range m.Graphs() {
-			fmt.Fprintf(out, "  [%d] %v  roots=%v\n", i, g, graph.MaskToNodes(g.Roots()))
+		for i, name := range r.GraphNames {
+			fmt.Fprintf(out, "  [%d] %v  roots=%v\n", i, name, r.GraphRoots[i])
 		}
 	}
 
-	fmt.Fprintf(out, "rooted (asymptotic consensus solvable):  %v\n", m.IsRooted())
-	fmt.Fprintf(out, "non-split:                               %v\n", m.IsNonSplit())
+	fmt.Fprintf(out, "rooted (asymptotic consensus solvable):  %v\n", r.Rooted)
+	fmt.Fprintf(out, "non-split:                               %v\n", r.NonSplit)
 
-	if d, finite := m.AlphaDiameter(); finite {
-		fmt.Fprintf(out, "alpha-diameter D:                        %d\n", d)
+	if r.AlphaFinite {
+		fmt.Fprintf(out, "alpha-diameter D:                        %d\n", r.AlphaDiameter)
 	} else {
 		fmt.Fprintf(out, "alpha-diameter D:                        infinite\n")
 	}
 
-	classes := m.BetaClasses()
-	fmt.Fprintf(out, "beta-equivalence classes:                %d\n", len(classes))
-	for i, class := range classes {
+	fmt.Fprintf(out, "beta-equivalence classes:                %d\n", len(r.BetaClasses))
+	for i, class := range r.BetaClasses {
 		fmt.Fprintf(out, "  class %d: graphs %v, source-incompatible: %v\n",
-			i, class, m.SourceIncompatible(class))
+			i, class, r.SourceIncompatible[i])
 	}
 
-	fmt.Fprintf(out, "exact consensus solvable (Theorem 19):   %v\n", m.ExactConsensusSolvable())
+	fmt.Fprintf(out, "exact consensus solvable (Theorem 19):   %v\n", r.ExactConsensusSolvable)
 
-	b := m.ContractionLowerBound()
-	if b.Theorem == "vacuous" {
-		fmt.Fprintf(out, "contraction-rate lower bound:            n/a — %s\n", b.Detail)
+	if r.BoundTheorem == "vacuous" {
+		fmt.Fprintf(out, "contraction-rate lower bound:            n/a — %s\n", r.BoundDetail)
 		return nil
 	}
-	fmt.Fprintf(out, "contraction-rate lower bound:            %.6g\n", b.Rate)
-	fmt.Fprintf(out, "  via %s — %s\n", b.Theorem, b.Detail)
+	fmt.Fprintf(out, "contraction-rate lower bound:            %.6g\n", r.BoundRate)
+	fmt.Fprintf(out, "  via %s — %s\n", r.BoundTheorem, r.BoundDetail)
 	return nil
 }

@@ -1,0 +1,358 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/async"
+	"repro/internal/graph"
+	"repro/internal/vector"
+)
+
+// AsyncCrash schedules one unclean crash: the agent stops after its
+// AfterBroadcasts-th broadcast, whose final copy reaches only Recipients.
+type AsyncCrash struct {
+	Agent           int   `json:"agent"`
+	AfterBroadcasts int   `json:"after_broadcasts"`
+	Recipients      []int `json:"recipients"`
+}
+
+// AsyncSpec configures one asynchronous crash-fault simulation (the
+// Section 8 system). Zero fields take defaults.
+type AsyncSpec struct {
+	// Process is "minrelay" or any algorithm spec from the Algorithms
+	// registry; registry algorithms run round-based (wait for n-f
+	// messages per round) through the async agent bridge, so quantized or
+	// flood-root variants work here too. "midpoint" and "selectedmean"
+	// are accepted as the classical aliases.
+	Process string `json:"process"`
+	N       int    `json:"n"`
+	F       int    `json:"f"`
+	// Rounds caps round-based algorithms (default 20).
+	Rounds int `json:"rounds,omitempty"`
+	// Seed seeds the input and crash-schedule RNG. It is used verbatim
+	// (seed 0 is seed 0), so any historical asyncsim invocation replays
+	// exactly; cmd/asyncsim's flag default is 1.
+	Seed int64 `json:"seed,omitempty"`
+	// WorstCase plays the Theorem 7 worst-case crash chain under constant
+	// delays instead of random crashes.
+	WorstCase bool `json:"worst_case,omitempty"`
+	// Inputs overrides the seeded random initial values.
+	Inputs []float64 `json:"inputs,omitempty"`
+	// Crashes overrides the generated crash schedule.
+	Crashes []AsyncCrash `json:"crashes,omitempty"`
+	// DelayFloor is the uniform-delay lower bound (default 0.05).
+	DelayFloor float64 `json:"delay_floor,omitempty"`
+	// DelaySeed seeds the delay RNG (default: Seed).
+	DelaySeed int64 `json:"delay_seed,omitempty"`
+	// SampleEvery sets the observation cadence (default 0.5 time units).
+	SampleEvery float64 `json:"sample_every,omitempty"`
+	// Horizon overrides the simulated time span (default f+2 for
+	// minrelay, rounds+2 otherwise).
+	Horizon float64 `json:"horizon,omitempty"`
+}
+
+// AsyncSample is one observation of the running simulation.
+type AsyncSample struct {
+	Time      float64 `json:"time"`
+	Delivered int     `json:"delivered"`
+	// Diameter is the diameter of the correct (non-crashed) agents.
+	Diameter float64 `json:"diameter"`
+}
+
+// AsyncResult reports one asynchronous simulation.
+type AsyncResult struct {
+	Process          string        `json:"process"`
+	N                int           `json:"n"`
+	F                int           `json:"f"`
+	ScheduledCrashes int           `json:"scheduled_crashes"`
+	Horizon          float64       `json:"horizon"`
+	Samples          []AsyncSample `json:"samples"`
+	FinalOutputs     []float64     `json:"final_outputs"`
+	// MinRelayAgreed reports, for minrelay runs, whether all correct
+	// agents held identical values at the horizon — the Theorem 7
+	// guarantee for horizons >= f+1.
+	MinRelayAgreed *bool `json:"minrelay_agreed,omitempty"`
+}
+
+// AsyncRun simulates an asynchronous crash-fault execution, checking ctx
+// between samples.
+func AsyncRun(ctx context.Context, spec AsyncSpec, opts ...QueryOption) (*AsyncResult, error) {
+	cfg := applyQueryOptions(opts)
+	n, f := spec.N, spec.F
+	if n < 2 || f < 0 || f >= n {
+		return nil, fmt.Errorf("consensus: async run needs n >= 2 and 0 <= f < n, got n=%d f=%d", n, f)
+	}
+	if n > 62 {
+		return nil, fmt.Errorf("consensus: async run supports at most 62 agents, got %d", n)
+	}
+	if spec.DelayFloor < 0 || spec.DelayFloor > 1 {
+		return nil, fmt.Errorf("consensus: delay floor %v outside (0,1]", spec.DelayFloor)
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = 20
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("consensus: async run needs rounds >= 1, got %d", rounds)
+	}
+	seed := spec.Seed
+	procSpec := spec.Process
+	if procSpec == "" {
+		procSpec = "minrelay"
+	}
+	// Classical alias from the original asyncsim switch.
+	if procSpec == "selectedmean" {
+		procSpec = fmt.Sprintf("rb-selectedmean:%d", f)
+	}
+
+	// The input and crash-schedule RNG draws must stay in this order to
+	// reproduce the historical asyncsim executions for a given seed.
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	if spec.Inputs != nil {
+		if len(spec.Inputs) != n {
+			return nil, fmt.Errorf("consensus: got %d inputs for %d agents", len(spec.Inputs), n)
+		}
+		copy(inputs, spec.Inputs)
+	}
+	if spec.WorstCase {
+		// The Theorem 7 worst case relays a unique minimum through a chain
+		// of f unclean crashes; all other inputs coincide so that nothing
+		// else triggers relays (and premature crash broadcasts).
+		inputs[0] = -1
+		for i := 1; i < n; i++ {
+			inputs[i] = 1
+		}
+	}
+
+	procs := make([]async.Process, n)
+	isMinRelay := procSpec == "minrelay"
+	if isMinRelay {
+		for i := range procs {
+			procs[i] = async.NewMinRelay(i, inputs[i])
+		}
+	} else {
+		alg, err := cfg.lib.algorithms().New(procSpec, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range procs {
+			procs[i] = async.NewAgentRoundBased(alg.NewAgent(i, n, inputs[i]), i, n, f, rounds)
+		}
+	}
+
+	var crashes []async.Crash
+	switch {
+	case spec.Crashes != nil:
+		for _, c := range spec.Crashes {
+			if c.Agent < 0 || c.Agent >= n {
+				return nil, fmt.Errorf("consensus: crash agent %d out of range [0,%d)", c.Agent, n)
+			}
+			for _, r := range c.Recipients {
+				if r < 0 || r >= n {
+					return nil, fmt.Errorf("consensus: crash recipient %d out of range [0,%d)", r, n)
+				}
+			}
+			crashes = append(crashes, async.Crash{
+				Agent:           c.Agent,
+				AfterBroadcasts: c.AfterBroadcasts,
+				Recipients:      graph.NodesToMask(c.Recipients),
+			})
+		}
+	case spec.WorstCase:
+		crashes = append(crashes, async.Crash{Agent: 0, AfterBroadcasts: 0, Recipients: 1 << 1})
+		for i := 1; i < f; i++ {
+			crashes = append(crashes, async.Crash{Agent: i, AfterBroadcasts: 1, Recipients: 1 << uint(i+1)})
+		}
+	default:
+		perm := rng.Perm(n)
+		for _, a := range perm[:f] {
+			crashes = append(crashes, async.Crash{
+				Agent:           a,
+				AfterBroadcasts: rng.Intn(3),
+				Recipients:      uint64(rng.Intn(1 << uint(n))),
+			})
+		}
+	}
+
+	delaySeed := spec.DelaySeed
+	if delaySeed == 0 {
+		delaySeed = seed
+	}
+	delayFloor := spec.DelayFloor
+	if delayFloor == 0 {
+		delayFloor = 0.05
+	}
+	delay := async.UniformDelays(delaySeed, delayFloor)
+	if spec.WorstCase {
+		delay = async.ConstantDelay(1)
+	}
+	sim, err := async.NewSimulator(procs, delay, crashes)
+	if err != nil {
+		return nil, err
+	}
+
+	horizon := spec.Horizon
+	if horizon == 0 {
+		horizon = float64(f + 2)
+		if !isMinRelay {
+			horizon = float64(rounds + 2)
+		}
+	}
+	sampleEvery := spec.SampleEvery
+	if sampleEvery == 0 {
+		sampleEvery = 0.5
+	}
+	if sampleEvery <= 0 {
+		return nil, fmt.Errorf("consensus: async sample cadence must be positive, got %v", sampleEvery)
+	}
+
+	res := &AsyncResult{
+		Process:          procSpec,
+		N:                n,
+		F:                f,
+		ScheduledCrashes: len(crashes),
+		Horizon:          horizon,
+	}
+	done := ctx.Done()
+	// Integer step count: accumulating t += sampleEvery drifts for
+	// non-dyadic cadences and can drop the final horizon sample.
+	steps := int(horizon/sampleEvery + 1e-9)
+	sample := func(t float64) error {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		sim.RunUntil(t)
+		res.Samples = append(res.Samples, AsyncSample{
+			Time:      t,
+			Delivered: sim.Delivered(),
+			Diameter:  sim.CorrectDiameter(),
+		})
+		return nil
+	}
+	for i := 1; i <= steps; i++ {
+		if err := sample(float64(i) * sampleEvery); err != nil {
+			return nil, err
+		}
+	}
+	// When the horizon is not a cadence multiple, still observe it: the
+	// final outputs and the MinRelay verdict are defined at the horizon.
+	if float64(steps)*sampleEvery < horizon-1e-12 {
+		if err := sample(horizon); err != nil {
+			return nil, err
+		}
+	}
+	res.FinalOutputs = sim.CorrectOutputs()
+	if isMinRelay {
+		agreed := sim.CorrectDiameter() == 0
+		res.MinRelayAgreed = &agreed
+	}
+	return res, nil
+}
+
+// VectorSpec configures a coordinate-wise multidimensional run (the
+// d-dimensional lift of internal/vector).
+type VectorSpec struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	// Adversary must be model-free unless Model is set.
+	Adversary string `json:"adversary"`
+	Model     string `json:"model,omitempty"`
+	// Points are the initial positions, one []float64 per agent, all of
+	// equal dimension.
+	Points [][]float64 `json:"points"`
+	Rounds int         `json:"rounds,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+}
+
+// VectorResult reports one multidimensional run.
+type VectorResult struct {
+	// Positions are the final positions.
+	Positions [][]float64 `json:"positions"`
+	// Diameters[t] is the max pairwise distance after round t.
+	Diameters []float64 `json:"diameters"`
+}
+
+// VectorRun executes an algorithm coordinate-wise on d-dimensional
+// points, all coordinates sharing each round's communication graph (one
+// physical broadcast per round), checking ctx between rounds.
+func VectorRun(ctx context.Context, spec VectorSpec, opts ...QueryOption) (*VectorResult, error) {
+	cfg := applyQueryOptions(opts)
+	n := len(spec.Points)
+	if n == 0 {
+		return nil, fmt.Errorf("consensus: vector run needs initial points")
+	}
+	points := make([]vector.Point, n)
+	for i, p := range spec.Points {
+		if len(p) == 0 || len(p) != len(spec.Points[0]) {
+			return nil, fmt.Errorf("consensus: vector point %d has dimension %d, want %d", i, len(p), len(spec.Points[0]))
+		}
+		points[i] = vector.Point(append([]float64(nil), p...))
+	}
+	algSpec := spec.Algorithm
+	if algSpec == "" {
+		algSpec = "midpoint"
+	}
+	alg, err := cfg.lib.algorithms().New(algSpec, n)
+	if err != nil {
+		return nil, err
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = DefaultRounds
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("consensus: negative round count %d", rounds)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+
+	env := AdversaryEnv{N: n, Seed: seed, Depth: DefaultDepth, Algorithm: alg}
+	if spec.Model != "" {
+		m, err := cfg.lib.models().New(spec.Model)
+		if err != nil {
+			return nil, err
+		}
+		if m.N() != n {
+			return nil, fmt.Errorf("consensus: model on %d agents with %d points", m.N(), n)
+		}
+		env.Model = m
+	}
+	src, err := cfg.lib.adversaries().New(spec.Adversary, env)
+	if err != nil {
+		return nil, err
+	}
+
+	runner, err := vector.NewRunner(alg, points)
+	if err != nil {
+		return nil, err
+	}
+	res := &VectorResult{Diameters: make([]float64, 0, rounds+1)}
+	res.Diameters = append(res.Diameters, runner.Diameter())
+	done := ctx.Done()
+	for t := 1; t <= rounds; t++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		runner.Run(src, 1)
+		res.Diameters = append(res.Diameters, runner.Diameter())
+	}
+	for _, p := range runner.Positions() {
+		res.Positions = append(res.Positions, []float64(p))
+	}
+	return res, nil
+}

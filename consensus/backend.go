@@ -1,0 +1,93 @@
+package consensus
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Backend names an execution backend: "auto" (dense kernel where
+// supported, the default), "agents" (the interface-based reference
+// path), or "dense". The empty string means "inherit the process
+// default", which is "auto" unless overridden by the REPRO_BACKEND
+// environment variable or SetProcessBackend.
+type Backend string
+
+// The recognized backends.
+const (
+	BackendAuto   Backend = "auto"
+	BackendAgents Backend = "agents"
+	BackendDense  Backend = "dense"
+)
+
+// resolve maps a Backend to the engine-level selection; "" inherits the
+// process default.
+func (b Backend) resolve() (core.Backend, error) {
+	if b == "" {
+		return core.CurrentBackend(), nil
+	}
+	return core.ParseBackend(string(b))
+}
+
+// Validate reports whether the backend name is recognized ("" included).
+func (b Backend) Validate() error {
+	_, err := b.resolve()
+	return err
+}
+
+// ProcessBackend returns the current process-wide default backend.
+func ProcessBackend() Backend { return Backend(core.CurrentBackend().String()) }
+
+// SetProcessBackend sets the process-wide default backend (the one
+// sessions with no explicit WithBackend use) and returns the previous
+// value. It errors on unknown names; the empty string is a no-op.
+func SetProcessBackend(b Backend) (Backend, error) {
+	if b == "" {
+		return ProcessBackend(), nil
+	}
+	cb, err := core.ParseBackend(string(b))
+	if err != nil {
+		return "", err
+	}
+	return Backend(core.SetDefaultBackend(cb).String()), nil
+}
+
+// BackendSelection is the result of BackendFlag: a pending -backend flag
+// value to be installed after flag parsing.
+type BackendSelection struct {
+	value string
+}
+
+// BackendFlag registers the canonical "-backend" flag on fs and returns
+// the selection to Install after parsing. It is the one shared backend-
+// selection helper for command-line tools (previously copy-pasted per
+// cmd): precedence is explicit flag > REPRO_BACKEND environment variable
+// > "auto".
+func BackendFlag(fs *flag.FlagSet) *BackendSelection {
+	sel := &BackendSelection{}
+	fs.StringVar(&sel.value, "backend", "",
+		"execution backend: auto | agents | dense (default $REPRO_BACKEND or auto)")
+	return sel
+}
+
+// Install applies the parsed flag value to the process default. When the
+// flag was not given, the process default (REPRO_BACKEND or auto) is left
+// untouched.
+func (s *BackendSelection) Install() error {
+	if s.value == "" {
+		return nil
+	}
+	if _, err := SetProcessBackend(Backend(s.value)); err != nil {
+		return fmt.Errorf("consensus: -backend: %v", err)
+	}
+	return nil
+}
+
+// Value returns the backend the selection resolves to right now.
+func (s *BackendSelection) Value() Backend {
+	if s.value == "" {
+		return ProcessBackend()
+	}
+	return Backend(s.value)
+}

@@ -1,0 +1,171 @@
+package consensus
+
+import (
+	"testing"
+)
+
+func TestModelRegistrySpecs(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantN   int
+		wantLen int
+	}{
+		{"twoagent", 2, 3},
+		{"deaf:4", 4, 4},
+		{"psi:5", 5, 3},
+		{"rooted:2", 2, 3},
+		{"nonsplit:2", 2, 3},
+		{"na:4,1", 4, 256},
+		{"edges:3;0>1,1>2", 3, 1},
+	}
+	for _, tc := range cases {
+		m, err := Models.New(tc.in)
+		if err != nil {
+			t.Errorf("Models.New(%q): %v", tc.in, err)
+			continue
+		}
+		if m.N() != tc.wantN || m.Size() != tc.wantLen {
+			t.Errorf("Models.New(%q) = n=%d size=%d, want n=%d size=%d",
+				tc.in, m.N(), m.Size(), tc.wantN, tc.wantLen)
+		}
+	}
+	m, err := Models.New("asyncchain:6,2")
+	if err != nil {
+		t.Fatalf("asyncchain: %v", err)
+	}
+	if m.N() != 6 || m.Size() < 4 {
+		t.Errorf("asyncchain:6,2 = n=%d size=%d", m.N(), m.Size())
+	}
+	for _, bad := range []string{"", "wat", "deaf:x", "deaf:0", "psi:3", "na:4", "na:4,0",
+		"edges:3;0-1", "edges:3;9>1", "edges:x;0>1", "rooted:9", "twoagent:arg"} {
+		if _, err := Models.New(bad); err == nil {
+			t.Errorf("Models.New(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAlgorithmRegistrySpecs(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		n    int
+		name string
+	}{
+		{"midpoint", 3, "midpoint"},
+		{"mean", 3, "mean"},
+		{"amortized", 4, "amortized-midpoint"},
+		{"twothirds", 2, "two-thirds"},
+		{"selfweighted:0.25", 3, "self-weighted(0.25)"},
+		{"quantized:0.125", 4, "quantized-midpoint(q=0.125)"},
+		{"floodroot:1", 4, "flood-root(1)"},
+		{"floodroot", 4, "flood-root(0)"},
+		{"rb-midpoint", 4, "rb-midpoint"},
+		{"rb-selectedmean:2", 6, "rb-selected-mean(f=2)"},
+	} {
+		alg, err := Algorithms.New(tc.in, tc.n)
+		if err != nil {
+			t.Errorf("Algorithms.New(%q): %v", tc.in, err)
+			continue
+		}
+		if alg.Name() != tc.name {
+			t.Errorf("Algorithms.New(%q).Name = %q, want %q", tc.in, alg.Name(), tc.name)
+		}
+	}
+	for _, bad := range []struct {
+		in string
+		n  int
+	}{
+		{"nope", 3}, {"twothirds", 3}, {"selfweighted:2", 3},
+		{"selfweighted:x", 3}, {"rb-selectedmean:0", 4},
+		{"quantized:0", 4}, {"quantized:x", 4},
+		{"floodroot:9", 4}, {"floodroot:x", 4},
+		{"midpoint:arg", 3},
+	} {
+		if _, err := Algorithms.New(bad.in, bad.n); err == nil {
+			t.Errorf("Algorithms.New(%q, n=%d) succeeded, want error", bad.in, bad.n)
+		}
+	}
+}
+
+func TestAdversaryRegistrySpecs(t *testing.T) {
+	m, err := Models.New("deaf:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := Algorithms.New("midpoint", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := AdversaryEnv{Model: m, Algorithm: alg, N: 3, Seed: 1, Depth: 2}
+	for _, good := range []string{"random", "cycle", "fixed:1", "randomrooted:0.3", "randomnonsplit:0.3"} {
+		if _, err := Adversaries.New(good, env); err != nil {
+			t.Errorf("Adversaries.New(%q): %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "nope", "fixed:9", "fixed:x", "randomrooted:0",
+		"randomrooted:2", "random:arg", "cycle:arg"} {
+		if _, err := Adversaries.New(bad, env); err == nil {
+			t.Errorf("Adversaries.New(%q) succeeded, want error", bad)
+		}
+	}
+	// greedy without an engine must be rejected, not crash.
+	if _, err := Adversaries.New("greedy", env); err == nil {
+		t.Error("greedy without an engine accepted")
+	}
+	// Model-needing sources without a model must be rejected.
+	if _, err := Adversaries.New("cycle", AdversaryEnv{N: 3, Seed: 1}); err == nil {
+		t.Error("cycle without a model accepted")
+	}
+}
+
+func TestRegistryRegistrationErrors(t *testing.T) {
+	r := NewAlgorithmRegistry()
+	if err := r.Register(AlgorithmFactory{}); err == nil {
+		t.Error("empty algorithm factory accepted")
+	}
+	ok := AlgorithmFactory{Name: "x", New: Algorithms.New}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Error("duplicate algorithm factory accepted")
+	}
+
+	mr := NewModelRegistry()
+	if err := mr.Register(ModelFactory{}); err == nil {
+		t.Error("empty model factory accepted")
+	}
+	ar := NewAdversaryRegistry()
+	if err := ar.Register(AdversaryFactory{}); err == nil {
+		t.Error("empty adversary factory accepted")
+	}
+}
+
+func TestRegistryDescribe(t *testing.T) {
+	if names := Algorithms.Names(); len(names) < 9 {
+		t.Errorf("algorithm registry too small: %v", names)
+	}
+	infos := Models.Describe()
+	if len(infos) != len(Models.Names()) {
+		t.Errorf("Describe/Names mismatch: %d vs %d", len(infos), len(Models.Names()))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Usage == "" || info.Summary == "" {
+			t.Errorf("incomplete model info: %+v", info)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0, 1, 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 0.5 {
+		t.Errorf("ParseFloats = %v", got)
+	}
+	for _, bad := range []string{"", "a,b", "1,,2"} {
+		if _, err := ParseFloats(bad); err == nil {
+			t.Errorf("ParseFloats(%q) succeeded, want error", bad)
+		}
+	}
+}

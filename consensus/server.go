@@ -1,0 +1,429 @@
+package consensus
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// ServerTimeout bounds each query's computation (default 30s).
+func ServerTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.timeout = d }
+}
+
+// ServerCacheSize bounds the response cache entry count (default 1024;
+// 0 disables response caching).
+func ServerCacheSize(n int) ServerOption {
+	return func(s *Server) { s.cacheMax = n }
+}
+
+// ServerLibrary resolves every query against lib.
+func ServerLibrary(lib *Library) ServerOption {
+	return func(s *Server) { s.lib = lib }
+}
+
+// ServerSweepCache uses the given sweep cache instead of the shared
+// default.
+func ServerSweepCache(c *SweepCache) ServerOption {
+	return func(s *Server) { s.sweepCache = c }
+}
+
+// Server is the query server over the engines: an http.Handler exposing
+// runs, sweeps, solvability and valency analysis, asynchronous
+// simulations, and the paper-reproduction experiments as JSON endpoints.
+//
+// Endpoints (all under /api/v1):
+//
+//	GET  /healthz              liveness
+//	GET  /api/v1/registry      registered algorithms, models, adversaries
+//	POST /api/v1/run           RunSpec -> RunSummary (+ diameters)
+//	POST /api/v1/sweep         {"specs": [RunSpec...]} -> {"results": ...}
+//	GET  /api/v1/solvability   ?model=SPEC -> SolvabilityReport
+//	POST /api/v1/valency       ValencyRequest -> ValencyReport
+//	POST /api/v1/decision      DecisionRequest -> {"points": ...}
+//	POST /api/v1/async         AsyncSpec -> AsyncResult
+//	GET  /api/v1/experiments   experiment listing
+//	POST /api/v1/experiment    {"id": ...} -> table (+ rendered text)
+//
+// Every query runs under the server's per-query timeout. Successful
+// responses of deterministic endpoints are cached by canonical request
+// body; the X-Repro-Cache header reports hit or miss.
+type Server struct {
+	mux        *http.ServeMux
+	timeout    time.Duration
+	lib        *Library
+	sweepCache *SweepCache
+
+	cacheMu    sync.Mutex
+	cache      map[string][]byte
+	cacheMax   int
+	cacheBytes int
+}
+
+// Response-cache byte bounds: the entry-count cap alone would not stop a
+// few maximum-size run responses (megabytes of diameters each) from
+// growing the cache without limit in bytes.
+const (
+	maxCacheTotalBytes = 64 << 20
+	maxCacheEntryBytes = 4 << 20
+)
+
+// NewServer builds the query server.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		timeout:    30 * time.Second,
+		cacheMax:   1024,
+		cache:      make(map[string][]byte),
+		sweepCache: defaultSweepCache,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/registry", s.handleRegistry)
+	mux.HandleFunc("POST /api/v1/run", s.handleRun)
+	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /api/v1/solvability", s.handleSolvability)
+	mux.HandleFunc("POST /api/v1/valency", s.handleValency)
+	mux.HandleFunc("POST /api/v1/decision", s.handleDecision)
+	mux.HandleFunc("POST /api/v1/async", s.handleAsync)
+	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /api/v1/experiment", s.handleExperiment)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusOf maps a query error to an HTTP status.
+func statusOf(err error) int {
+	if err == context.DeadlineExceeded || err == context.Canceled {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// queryCtx derives the per-query context.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// maxRequestBytes bounds a request body: the server caps its outputs
+// (maxServerRounds, the cache byte bounds), so inputs must be bounded
+// too or one oversized POST buffers gigabytes before validation runs.
+const maxRequestBytes = 8 << 20
+
+// decodeBody strictly decodes the size-limited JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("consensus: bad request body: %v", err)
+	}
+	return nil
+}
+
+// cached serves the response for key from the cache, or computes it via
+// f, caching successes. The cache key must canonically determine the
+// response.
+func (s *Server) cached(w http.ResponseWriter, key string, f func() (any, error)) {
+	if s.cacheMax > 0 {
+		s.cacheMu.Lock()
+		body, hit := s.cache[key]
+		s.cacheMu.Unlock()
+		if hit {
+			w.Header().Set("X-Repro-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	v, err := f()
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	if s.cacheMax > 0 && len(body) <= maxCacheEntryBytes {
+		s.cacheMu.Lock()
+		for k, v := range s.cache {
+			if len(s.cache) < s.cacheMax && s.cacheBytes+len(body) <= maxCacheTotalBytes {
+				break
+			}
+			delete(s.cache, k)
+			s.cacheBytes -= len(v)
+		}
+		s.cache[key] = body
+		s.cacheBytes += len(body)
+		s.cacheMu.Unlock()
+	}
+	w.Header().Set("X-Repro-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// registryResponse is the /api/v1/registry payload.
+type registryResponse struct {
+	Algorithms  []FactoryInfo `json:"algorithms"`
+	Models      []FactoryInfo `json:"models"`
+	Adversaries []FactoryInfo `json:"adversaries"`
+	Experiments int           `json:"experiments"`
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, registryResponse{
+		Algorithms:  s.lib.algorithms().Describe(),
+		Models:      s.lib.models().Describe(),
+		Adversaries: s.lib.adversaries().Describe(),
+		Experiments: len(Experiments()),
+	})
+}
+
+// runResponse is the /api/v1/run payload.
+type runResponse struct {
+	Spec      RunSpec    `json:"spec"`
+	Summary   RunSummary `json:"summary"`
+	Diameters []float64  `json:"diameters"`
+}
+
+// maxServerRounds bounds a single served run: the run endpoint
+// materializes one value vector per round (and JSON-encodes the diameter
+// series), so unbounded client-chosen round counts would trade the
+// per-query CPU timeout for unbounded memory. Longer executions belong
+// in-process on the constant-memory Rounds iterator.
+const maxServerRounds = 1 << 20
+
+func checkServerRounds(rounds int) error {
+	if rounds > maxServerRounds {
+		return fmt.Errorf("consensus: served runs are capped at %d rounds, got %d", maxServerRounds, rounds)
+	}
+	return nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkServerRounds(spec.Rounds); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKeyOf("run", spec)
+	s.cached(w, key, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		session, err := NewSession(spec, WithLibrary(s.lib))
+		if err != nil {
+			return nil, err
+		}
+		res, err := session.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return runResponse{Spec: spec, Summary: Summarize(res), Diameters: res.Diameters()}, nil
+	})
+}
+
+// sweepRequest is the /api/v1/sweep body.
+type sweepRequest struct {
+	Specs   []RunSpec `json:"specs"`
+	Workers int       `json:"workers,omitempty"`
+}
+
+// sweepResponse is the /api/v1/sweep payload.
+type sweepResponse struct {
+	Results []SweepResult `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("consensus: sweep needs at least one spec"))
+		return
+	}
+	for _, spec := range req.Specs {
+		if err := checkServerRounds(spec.Rounds); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	key := cacheKeyOf("sweep", req)
+	s.cached(w, key, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		opts := []SweepOption{WithSweepCache(s.sweepCache)}
+		if s.lib != nil {
+			opts = append(opts, SweepLibrary(s.lib))
+		}
+		if req.Workers > 0 {
+			opts = append(opts, SweepWorkers(req.Workers))
+		}
+		results, err := Sweep(ctx, req.Specs, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return sweepResponse{Results: results}, nil
+	})
+}
+
+func (s *Server) handleSolvability(w http.ResponseWriter, r *http.Request) {
+	modelSpec := r.URL.Query().Get("model")
+	if modelSpec == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("consensus: solvability needs a ?model= spec"))
+		return
+	}
+	s.cached(w, "solvability|"+modelSpec, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		return Solvability(ctx, modelSpec, s.queryOptions()...)
+	})
+}
+
+func (s *Server) handleValency(w http.ResponseWriter, r *http.Request) {
+	var req ValencyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKeyOf("valency", req)
+	s.cached(w, key, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		rep, err := ValencyBounds(ctx, req, s.queryOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		// The hit rate depends on query order, not on the query itself;
+		// zero it so cached responses are canonical.
+		rep.CacheHitRate = 0
+		return rep, nil
+	})
+}
+
+// decisionResponse is the /api/v1/decision payload.
+type decisionResponse struct {
+	Points []DecisionPoint `json:"points"`
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	var req DecisionRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKeyOf("decision", req)
+	s.cached(w, key, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		points, err := DecisionSweep(ctx, req, s.queryOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		return decisionResponse{Points: points}, nil
+	})
+}
+
+func (s *Server) handleAsync(w http.ResponseWriter, r *http.Request) {
+	var spec AsyncSpec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKeyOf("async", spec)
+	s.cached(w, key, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		return AsyncRun(ctx, spec, s.queryOptions()...)
+	})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": Experiments()})
+}
+
+// experimentRequest is the /api/v1/experiment body.
+type experimentRequest struct {
+	ID string `json:"id"`
+}
+
+// experimentResponse is the /api/v1/experiment payload.
+type experimentResponse struct {
+	*ExperimentResult
+	Text string `json:"text"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req experimentRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cached(w, "experiment|"+req.ID, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		res, err := RunExperiment(ctx, req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return experimentResponse{ExperimentResult: res, Text: res.Render()}, nil
+	})
+}
+
+// queryOptions lowers the server library to query options.
+func (s *Server) queryOptions() []QueryOption {
+	if s.lib == nil {
+		return nil
+	}
+	return []QueryOption{QueryLibrary(s.lib)}
+}
+
+// cacheKeyOf canonicalizes a request into a cache key.
+func cacheKeyOf(endpoint string, v any) string {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return endpoint + "|uncacheable"
+	}
+	return endpoint + "|" + string(body)
+}

@@ -1,0 +1,201 @@
+package consensus
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestServerRunValencyDecisionAsync(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerTimeout(time.Minute)))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/api/v1/run",
+		`{"model": "deaf:4", "algorithm": "midpoint", "adversary": "cycle", "rounds": 8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, body)
+	}
+	var runOut struct {
+		Summary   RunSummary `json:"summary"`
+		Diameters []float64  `json:"diameters"`
+	}
+	if err := json.Unmarshal(body, &runOut); err != nil {
+		t.Fatal(err)
+	}
+	if len(runOut.Diameters) != 9 || runOut.Summary.FinalDiameter >= 1 {
+		t.Errorf("run response: %+v", runOut)
+	}
+
+	resp, body = postJSON(t, ts, "/api/v1/valency",
+		`{"model": "twoagent", "algorithm": "twothirds", "inputs": [0, 1], "depth": 4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valency status %d: %s", resp.StatusCode, body)
+	}
+	var val ValencyReport
+	if err := json.Unmarshal(body, &val); err != nil {
+		t.Fatal(err)
+	}
+	// δ(C_0) = 1 for the two-agent H model: inner and outer must bracket it.
+	if val.DeltaLower < 0.99 || val.Outer == nil || val.DeltaUpper < val.DeltaLower {
+		t.Errorf("valency report: %+v", val)
+	}
+
+	resp, body = postJSON(t, ts, "/api/v1/decision",
+		`{"model": "twoagent", "algorithm": "twothirds", "adversary": "fixed:1",
+		  "inputs": [0, 1], "contraction": 0.333333333333333, "eps": [0.01], "theorem": "T8"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decision status %d: %s", resp.StatusCode, body)
+	}
+	var dec struct {
+		Points []DecisionPoint `json:"points"`
+	}
+	if err := json.Unmarshal(body, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Points) != 1 || !dec.Points[0].OK || float64(dec.Points[0].Rounds) < dec.Points[0].LowerBound {
+		t.Errorf("decision points: %+v", dec.Points)
+	}
+
+	resp, body = postJSON(t, ts, "/api/v1/async",
+		`{"process": "minrelay", "n": 6, "f": 3, "worst_case": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("async status %d: %s", resp.StatusCode, body)
+	}
+	var as AsyncResult
+	if err := json.Unmarshal(body, &as); err != nil {
+		t.Fatal(err)
+	}
+	if as.MinRelayAgreed == nil || !*as.MinRelayAgreed {
+		t.Errorf("Theorem 7 verdict missing or false: %+v", as)
+	}
+}
+
+func TestServerExperimentEndpoints(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerTimeout(time.Minute)))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Experiments []ExperimentInfo `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Experiments) == 0 {
+		t.Fatal("no experiments listed")
+	}
+
+	// Run the cheapest listed experiment end-to-end.
+	id := listing.Experiments[0].ID
+	for _, e := range listing.Experiments {
+		if e.ID == "T1/twoagent" {
+			id = e.ID
+		}
+	}
+	r2, body := postJSON(t, ts, "/api/v1/experiment", `{"id": `+jsonString(id)+`}`)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("experiment status %d: %s", r2.StatusCode, body)
+	}
+	var res struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+		Text string     `json:"text"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != id || len(res.Rows) == 0 || !strings.Contains(res.Text, res.ID) {
+		t.Errorf("experiment response: id=%q rows=%d", res.ID, len(res.Rows))
+	}
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func TestServerErrorsAndTimeout(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerTimeout(time.Minute)))
+	defer ts.Close()
+
+	// Malformed body.
+	resp, _ := postJSON(t, ts, "/api/v1/run", `{"model": 17}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", resp.StatusCode)
+	}
+	// Unknown field (strict decoding).
+	resp, _ = postJSON(t, ts, "/api/v1/run", `{"model": "deaf:3", "wat": true}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d, want 400", resp.StatusCode)
+	}
+	// Unknown spec.
+	resp, _ = postJSON(t, ts, "/api/v1/run", `{"model": "bogus"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown model status %d, want 400", resp.StatusCode)
+	}
+	// Out-of-range async parameters must 400, not panic the handler.
+	resp, _ = postJSON(t, ts, "/api/v1/async", `{"n": 3, "f": 1, "delay_floor": 2}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad delay floor status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/api/v1/async", `{"n": 63, "f": 1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized async n status %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/api/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run status %d, want 405", getResp.StatusCode)
+	}
+
+	// A server with an expired per-query budget answers 504.
+	slow := httptest.NewServer(NewServer(ServerTimeout(time.Nanosecond), ServerCacheSize(0)))
+	defer slow.Close()
+	r3, err := http.Get(slow.URL + "/api/v1/solvability?model=deaf:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("expired budget status %d, want 504", r3.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	ts := httptest.NewServer(NewServer())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}

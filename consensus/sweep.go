@@ -1,0 +1,286 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// RunSpec is the declarative form of a session configuration — the batch
+// and wire counterpart of the functional options. Zero fields take the
+// session defaults.
+type RunSpec struct {
+	Model     string    `json:"model,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	Adversary string    `json:"adversary,omitempty"`
+	Inputs    []float64 `json:"inputs,omitempty"`
+	Rounds    int       `json:"rounds,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Depth     int       `json:"depth,omitempty"`
+}
+
+// options lowers the spec to session options.
+func (spec RunSpec) options() []Option {
+	var opts []Option
+	if spec.Model != "" {
+		opts = append(opts, WithModel(spec.Model))
+	}
+	if spec.Algorithm != "" {
+		opts = append(opts, WithAlgorithm(spec.Algorithm))
+	}
+	if spec.Adversary != "" {
+		opts = append(opts, WithAdversary(spec.Adversary))
+	}
+	if spec.Inputs != nil {
+		opts = append(opts, WithInputs(spec.Inputs...))
+	}
+	if spec.Rounds != 0 {
+		opts = append(opts, WithRounds(spec.Rounds))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, WithSeed(spec.Seed))
+	}
+	if spec.Depth != 0 {
+		opts = append(opts, WithDepth(spec.Depth))
+	}
+	return opts
+}
+
+// NewSession builds a session from a declarative spec plus optional extra
+// options (applied after the spec's).
+func NewSession(spec RunSpec, extra ...Option) (*Session, error) {
+	return New(append(spec.options(), extra...)...)
+}
+
+// RunSummary condenses one completed run for batch and wire use.
+type RunSummary struct {
+	Algorithm       string    `json:"algorithm"`
+	Rounds          int       `json:"rounds"`
+	InitialDiameter float64   `json:"initial_diameter"`
+	FinalDiameter   float64   `json:"final_diameter"`
+	GeometricRate   float64   `json:"geometric_rate"`
+	WorstRoundRatio float64   `json:"worst_round_ratio"`
+	FinalOutputs    []float64 `json:"final_outputs"`
+	Validity        bool      `json:"validity"`
+}
+
+// Summarize condenses a result.
+func Summarize(res *Result) RunSummary {
+	return RunSummary{
+		Algorithm:       res.Algorithm(),
+		Rounds:          res.Rounds(),
+		InitialDiameter: res.DiameterAt(0),
+		FinalDiameter:   res.DiameterAt(res.Rounds()),
+		GeometricRate:   res.GeometricRate(),
+		WorstRoundRatio: res.WorstRoundRatio(),
+		FinalOutputs:    res.FinalOutputs(),
+		Validity:        res.ValidityHolds(1e-9),
+	}
+}
+
+// SweepCache memoizes run summaries by configuration fingerprint. It is
+// safe for concurrent use and shareable across Sweep calls and servers.
+type SweepCache struct {
+	mu     sync.Mutex
+	m      map[string]RunSummary
+	max    int
+	hits   uint64
+	misses uint64
+}
+
+// defaultSweepCacheSize bounds a cache built by NewSweepCache; past the
+// cap insertions drop the oldest-unspecified entries (map order) to stay
+// bounded.
+const defaultSweepCacheSize = 1 << 16
+
+// NewSweepCache returns an empty cache with the default size bound.
+func NewSweepCache() *SweepCache {
+	return &SweepCache{m: make(map[string]RunSummary), max: defaultSweepCacheSize}
+}
+
+// defaultSweepCache is the cache Sweep uses when the caller supplies
+// none, so independent sweeps of identical work share results.
+var defaultSweepCache = NewSweepCache()
+
+// get looks up a summary.
+func (c *SweepCache) get(key string) (RunSummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return s, ok
+}
+
+// put stores a summary, evicting arbitrary entries when full. It
+// tolerates a zero-value SweepCache by lazily adopting the defaults.
+func (c *SweepCache) put(key string, s RunSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]RunSummary)
+	}
+	if c.max <= 0 {
+		c.max = defaultSweepCacheSize
+	}
+	if len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			if len(c.m) < c.max {
+				break
+			}
+		}
+	}
+	c.m[key] = s
+}
+
+// Stats returns (hits, misses, entries).
+func (c *SweepCache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// cacheKey derives the fingerprint key of a session: the canonical
+// initial-configuration fingerprint (the same encoding the valency
+// engine's transposition tables are keyed by) plus every run parameter
+// that can change the outcome — including the identity of the resolving
+// registries, because two libraries may map one spec name to different
+// engines. The execution backend is deliberately absent — the backends
+// are differentially tested to be bit-identical. ok is false for
+// non-fingerprintable algorithms; those runs are never cached.
+func (s *Session) cacheKey() (string, bool) {
+	fp, ok := core.NewConfig(s.alg, s.inputs).AppendFingerprint(nil)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%d/%d/%d|%s|%s|%s|r%d|s%d|d%d|%x",
+		s.lib.models().id, s.lib.algorithms().id, s.lib.adversaries().id,
+		s.modelSpec, s.alg.Name(), s.advSpec, s.rounds, s.seed, s.depth, fp), true
+}
+
+// SweepResult is one sweep entry's outcome.
+type SweepResult struct {
+	Index   int         `json:"index"`
+	Spec    RunSpec     `json:"spec"`
+	Cached  bool        `json:"cached"`
+	Summary *RunSummary `json:"summary,omitempty"`
+	Err     string      `json:"error,omitempty"`
+}
+
+// sweepConfig collects sweep options.
+type sweepConfig struct {
+	workers int
+	cache   *SweepCache
+	backend Backend
+	lib     *Library
+}
+
+// SweepOption configures Sweep.
+type SweepOption func(*sweepConfig)
+
+// SweepWorkers bounds the worker pool (default: GOMAXPROCS).
+func SweepWorkers(n int) SweepOption {
+	return func(c *sweepConfig) { c.workers = n }
+}
+
+// WithSweepCache uses the given cache instead of the shared default.
+func WithSweepCache(cache *SweepCache) SweepOption {
+	return func(c *sweepConfig) { c.cache = cache }
+}
+
+// SweepBackend pins the execution backend of every swept session.
+func SweepBackend(b Backend) SweepOption {
+	return func(c *sweepConfig) { c.backend = b }
+}
+
+// SweepLibrary resolves every swept spec against lib.
+func SweepLibrary(lib *Library) SweepOption {
+	return func(c *sweepConfig) { c.lib = lib }
+}
+
+// Sweep runs every spec over a bounded worker pool and returns one result
+// per spec, in input order. Individual failures land in the result's Err
+// field; the returned error is non-nil only when ctx is cancelled, in
+// which case unprocessed entries carry the context error. Results are
+// memoized in the (shared, fingerprint-keyed) sweep cache, so repeated
+// and overlapping sweeps do not recompute identical runs; valency-driven
+// entries additionally share the per-model engine pool.
+func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepResult, error) {
+	cfg := sweepConfig{workers: runtime.GOMAXPROCS(0), cache: defaultSweepCache}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.workers > len(specs) {
+		cfg.workers = len(specs)
+	}
+
+	results := make([]SweepResult, len(specs))
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				results[i] = sweepOne(ctx, specs[i], i, &cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// sweepOne processes one sweep entry: resolve, consult the cache, run.
+func sweepOne(ctx context.Context, spec RunSpec, index int, cfg *sweepConfig) SweepResult {
+	res := SweepResult{Index: index, Spec: spec}
+	if err := ctx.Err(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var extra []Option
+	if cfg.lib != nil {
+		extra = append(extra, WithLibrary(cfg.lib))
+	}
+	if cfg.backend != "" {
+		extra = append(extra, WithBackend(cfg.backend))
+	}
+	session, err := NewSession(spec, extra...)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	key, cacheable := session.cacheKey()
+	if cacheable {
+		if summary, hit := cfg.cache.get(key); hit {
+			res.Cached = true
+			res.Summary = &summary
+			return res
+		}
+	}
+	out, err := session.Run(ctx)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	summary := Summarize(out)
+	if cacheable {
+		cfg.cache.put(key, summary)
+	}
+	res.Summary = &summary
+	return res
+}

@@ -6,9 +6,18 @@
 // the asynchronous crash-fault system of its classical corollaries.
 //
 // The root package carries only documentation and the repository-level
-// benchmarks; the implementation lives under internal/ (see README.md for
-// the architecture and DESIGN.md for the paper-to-package map):
+// benchmarks. The PUBLIC API is package consensus — the facade every
+// user-facing tool drives the engines through: a functional-options
+// session API (New/Run/Rounds), shared registries for algorithms,
+// models, and adversaries, batch sweeps with fingerprint-keyed caching,
+// query helpers (Solvability, ValencyBounds, DecisionSweep, AsyncRun,
+// VectorRun, Experiments), and an embeddable HTTP query server.
 //
+// The engines live under internal/ (see README.md for the architecture
+// and DESIGN.md for the paper-to-package map):
+//
+//	consensus            the public facade: sessions, registries, sweeps,
+//	                     queries, and the JSON query server
 //	internal/graph       communication graphs and the paper's graph families
 //	internal/model       network models, alpha/beta machinery, solvability
 //	internal/core        the round-based dynamic-network execution model
@@ -23,8 +32,10 @@
 //	internal/exp         the experiment registry regenerating every table
 //	                     and figure of the paper
 //
-// Entry points: cmd/paperbench regenerates the paper's results,
-// cmd/solvability analyzes arbitrary models, cmd/contraction races
-// algorithms against adversaries, cmd/asyncsim drives the crash-fault
-// simulator, and cmd/decision sweeps approximate-consensus tolerances.
+// Entry points (all thin shells over package consensus): cmd/reprod
+// serves the JSON query API, cmd/paperbench regenerates the paper's
+// results, cmd/solvability analyzes arbitrary models, cmd/contraction
+// races algorithms against adversaries, cmd/asyncsim drives the
+// crash-fault simulator, and cmd/decision sweeps approximate-consensus
+// tolerances.
 package repro

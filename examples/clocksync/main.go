@@ -7,7 +7,9 @@
 // (a dynamic non-split communication graph: every two nodes always share
 // some common neighbor they both hear, e.g. a base station, but links
 // otherwise come and go) and apply the midpoint algorithm to a software
-// correction offset. The logical clocks — hardware plus correction —
+// correction offset. Each radio round is a one-round consensus session on
+// the current logical readings — the facade's session API doubles as the
+// per-round update rule. The logical clocks — hardware plus correction —
 // converge toward a common time base even though the radio topology never
 // stabilizes; the residual spread is bounded by the drift accumulated in
 // a single round, a direct consequence of midpoint's 1/2 contraction.
@@ -16,11 +18,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/consensus"
 )
 
 const n = 6
@@ -53,40 +55,43 @@ func main() {
 	for sec := 0; sec <= 20; sec++ {
 		t := float64(sec)
 		readings := logical(t)
-		fmt.Printf("%3d   %24.6f", sec, core.Diameter(readings))
+		fmt.Printf("%3d   %24.6f", sec, consensus.Diameter(readings))
 
-		// Radio round: a random non-split graph (all nodes hear some
-		// common witness, links otherwise random).
-		g := graph.RandomNonSplit(rng, n, 0.3)
-		fmt.Printf("   %v\n", g)
-
-		// One midpoint round on the logical readings: node i adopts the
-		// midpoint of the logical clocks it heard, i.e. adjusts its
-		// correction by (midpoint - own logical clock).
-		for i := 0; i < n; i++ {
-			var lo, hi float64
-			first := true
-			for _, j := range g.In(i) {
-				r := readings[j]
-				if first {
-					lo, hi = r, r
-					first = false
-					continue
-				}
-				if r < lo {
-					lo = r
-				}
-				if r > hi {
-					hi = r
-				}
+		// Radio round: one midpoint round on the logical readings under a
+		// fresh random non-split graph (all nodes hear some common
+		// witness, links otherwise random). The per-second seed makes each
+		// session draw a different graph.
+		session, err := consensus.New(
+			consensus.WithAlgorithm("midpoint"),
+			consensus.WithAdversary("randomnonsplit:0.3"),
+			consensus.WithSeed(int64(100+sec)),
+			consensus.WithInputs(readings...),
+			consensus.WithRounds(1),
+		)
+		if err != nil {
+			panic(err)
+		}
+		var synced []float64
+		for snap, err := range session.Rounds(context.Background()) {
+			if err != nil {
+				panic(err)
 			}
-			corrections[i] += (lo+hi)/2 - readings[i]
+			if snap.Round == 1 {
+				fmt.Printf("   %v\n", snap.Graph)
+				synced = snap.Outputs
+			}
+		}
+
+		// Node i adopted the midpoint of the logical clocks it heard,
+		// i.e. adjusts its correction by (midpoint - own logical clock).
+		for i := 0; i < n; i++ {
+			corrections[i] += synced[i] - readings[i]
 		}
 	}
 
 	final := logical(21)
 	fmt.Printf("\nfinal spread: %.6f s — bounded by the drift accumulated per round,\n",
-		core.Diameter(final))
+		consensus.Diameter(final))
 	fmt.Println("because midpoint halves the spread each round while drift adds at most")
 	fmt.Println("2 ms/round: steady state ≈ 2·drift, independent of the initial skew.")
 }

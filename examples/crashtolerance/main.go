@@ -3,7 +3,8 @@
 //
 // Nine sensors measure the same physical quantity with noise and must
 // agree on a fused estimate despite up to f = 3 crashes and arbitrary
-// message delays. The example runs two strategies side by side:
+// message delays. The example runs two strategies side by side through
+// consensus.AsyncRun:
 //
 //   - the round-based Fekete-style selected-mean algorithm, which is
 //     limited to contraction 1/(⌈n/f⌉+1) per round by Theorem 6, and
@@ -15,11 +16,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/async"
-	"repro/internal/graph"
+	"repro/consensus"
 )
 
 func main() {
@@ -38,41 +39,48 @@ func main() {
 	// The crash budget is f = 3; two crashes actually occur (fewer crashes
 	// than the budget keeps the survivor count above the quorum size, so
 	// different agents keep hearing different quorums — the interesting
-	// regime for round-based algorithms).
-	crashes := []async.Crash{
-		{Agent: 1, AfterBroadcasts: 1, Recipients: graph.NodesToMask([]int{2, 3})},
-		{Agent: 7, AfterBroadcasts: 0, Recipients: graph.NodesToMask([]int{0, 8})},
+	// regime for round-based algorithms). Both strategies face the same
+	// crash schedule and the same delay distribution.
+	spec := consensus.AsyncSpec{
+		N:      n,
+		F:      f,
+		Rounds: 12,
+		Inputs: readings,
+		Crashes: []consensus.AsyncCrash{
+			{Agent: 1, AfterBroadcasts: 1, Recipients: []int{2, 3}},
+			{Agent: 7, AfterBroadcasts: 0, Recipients: []int{0, 8}},
+		},
+		DelaySeed:  5,
+		DelayFloor: 0.7,
+		Horizon:    8,
 	}
 
+	ctx := context.Background()
+
 	// Strategy 1: round-based selected mean (Fekete-style baseline).
-	rb := make([]async.Process, n)
-	for i := 0; i < n; i++ {
-		rb[i] = async.NewRoundBased(i, n, f, readings[i], async.SelectedMeanUpdate(f), 12)
-	}
-	simRB, err := async.NewSimulator(rb, async.UniformDelays(5, 0.7), crashes)
+	rbSpec := spec
+	rbSpec.Process = "selectedmean"
+	rb, err := consensus.AsyncRun(ctx, rbSpec)
 	if err != nil {
 		panic(err)
 	}
 
 	// Strategy 2: MinRelay (non-round-based, contraction 0).
-	mr := make([]async.Process, n)
-	for i := 0; i < n; i++ {
-		mr[i] = async.NewMinRelay(i, readings[i])
-	}
-	simMR, err := async.NewSimulator(mr, async.UniformDelays(5, 0.7), crashes)
+	mrSpec := spec
+	mrSpec.Process = "minrelay"
+	mr, err := consensus.AsyncRun(ctx, mrSpec)
 	if err != nil {
 		panic(err)
 	}
 
 	fmt.Println("time   spread(round-based)   spread(MinRelay)")
-	for t := 0.5; t <= 8; t += 0.5 {
-		simRB.RunUntil(t)
-		simMR.RunUntil(t)
-		fmt.Printf("%4.1f   %19.3g   %16.3g\n", t, simRB.CorrectDiameter(), simMR.CorrectDiameter())
+	for i := range rb.Samples {
+		fmt.Printf("%4.1f   %19.3g   %16.3g\n",
+			rb.Samples[i].Time, rb.Samples[i].Diameter, mr.Samples[i].Diameter)
 	}
 
 	fmt.Printf("\nMinRelay fused value: %.4f — exact agreement by time f+1 = %d,\n",
-		simMR.CorrectOutputs()[0], f+1)
+		mr.FinalOutputs[0], f+1)
 	fmt.Println("guaranteed under EVERY delay and crash schedule (Theorem 7).")
 	fmt.Println("The round-based algorithm also converged here, but only because the")
 	fmt.Println("random delays were benign: against worst-case scheduling its per-round")

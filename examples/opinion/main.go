@@ -5,24 +5,25 @@
 // whom changes arbitrarily — the only guarantee is that the influence
 // graph stays rooted (some agent can indirectly reach everyone). The
 // example contrasts plain averaging with the amortized midpoint algorithm
-// and shows both converge, with the amortized midpoint guaranteeing a
-// halving of disagreement every n-1 days.
+// through two consensus sessions sharing the same seeded random-rooted
+// pattern, and shows both converge, with the amortized midpoint
+// guaranteeing a halving of disagreement every n-1 days.
 //
 // Run with: go run ./examples/opinion
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
-	"repro/internal/algorithms"
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/consensus"
 )
 
 func main() {
 	const n = 8
+	const days = 35
 	rng := rand.New(rand.NewSource(7))
 	opinions := make([]float64, n)
 	for i := range opinions {
@@ -30,26 +31,37 @@ func main() {
 	}
 	fmt.Printf("initial opinions: %.1f\n\n", opinions)
 
-	// The influence pattern: a fresh random rooted graph every day. Sparse
-	// (p = 0.2), so most agents hear only a couple of others.
-	pattern := func(seed int64) core.PatternSource {
-		r := rand.New(rand.NewSource(seed))
-		return core.Func(func(int, *core.Config) graph.Graph {
-			return graph.RandomRooted(r, n, 0.2)
-		})
+	// The influence pattern: a fresh random rooted graph every day, sparse
+	// (p = 0.2) so most agents hear only a couple of others. Both sessions
+	// use the same adversary seed, i.e. the same sequence of graphs — one
+	// physical social process, two update rules.
+	run := func(algorithm string) *consensus.Result {
+		session, err := consensus.New(
+			consensus.WithAlgorithm(algorithm),
+			consensus.WithAdversary("randomrooted:0.2"),
+			consensus.WithSeed(1),
+			consensus.WithInputs(opinions...),
+			consensus.WithRounds(days),
+		)
+		if err != nil {
+			panic(err)
+		}
+		res, err := session.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		return res
 	}
-
-	days := 35
-	mean := core.Run(algorithms.Mean{}, opinions, pattern(1), days)
-	amid := core.Run(algorithms.AmortizedMidpoint{}, opinions, pattern(1), days)
+	mean := run("mean")
+	amid := run("amortized")
 
 	fmt.Println("day   disagreement(mean)   disagreement(amortized-midpoint)")
 	for t := 0; t <= days; t += 7 {
 		fmt.Printf("%3d   %18.4f   %32.4f\n", t, mean.DiameterAt(t), amid.DiameterAt(t))
 	}
 
-	fmt.Printf("\nmean final consensus:               %.4f\n", mean.Outputs[days][0])
-	fmt.Printf("amortized midpoint final consensus: %.4f\n", amid.Outputs[days][0])
+	fmt.Printf("\nmean final consensus:               %.4f\n", mean.FinalOutputs()[0])
+	fmt.Printf("amortized midpoint final consensus: %.4f\n", amid.FinalOutputs()[0])
 	fmt.Printf("\nvalidity (opinions stay in the initial hull): mean=%v amortized=%v\n",
 		mean.ValidityHolds(1e-9), amid.ValidityHolds(1e-9))
 	fmt.Printf("amortized midpoint guarantee: disagreement halves every n-1 = %d days,\n", n-1)

@@ -1,45 +1,58 @@
-// Quickstart: the smallest end-to-end tour of the library.
+// Quickstart: the smallest end-to-end tour of the public consensus API.
 //
 // It builds a dynamic network model, runs the midpoint algorithm under a
 // random rooted communication pattern, and then asks the analysis
 // machinery what contraction rate any algorithm could possibly achieve in
-// that model.
+// that model — all through the consensus facade.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
-	"repro/internal/algorithms"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/model"
+	"repro/consensus"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. A dynamic network: every round, the adversary picks one of the
 	// deaf(K4) graphs — K4 with one agent's ears removed.
-	m := model.DeafModel(graph.Complete(4))
-	fmt.Println("network model:", m)
+	solv, err := consensus.Solvability(ctx, "deaf:4")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("network model:", solv.Description)
 
 	// 2. Run the midpoint algorithm (Algorithm 2 of the paper) from
 	// scattered initial values under a random pattern from the model.
-	inputs := []float64{0, 1, 0.2, 0.8}
-	src := core.RandomFromModel{Model: m, Rng: rand.New(rand.NewSource(42))}
-	trace := core.Run(algorithms.Midpoint{}, inputs, src, 12)
+	session, err := consensus.New(
+		consensus.WithModel("deaf:4"),
+		consensus.WithAlgorithm("midpoint"),
+		consensus.WithAdversary("random"),
+		consensus.WithSeed(42),
+		consensus.WithInputs(0, 1, 0.2, 0.8),
+		consensus.WithRounds(12),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := session.Run(ctx)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("\nround  values                                    diameter")
-	for t, ys := range trace.Outputs {
-		fmt.Printf("%5d  %-40.4g  %.6f\n", t, ys, trace.DiameterAt(t))
+	for t := 0; t <= res.Rounds(); t++ {
+		fmt.Printf("%5d  %-40.4g  %.6f\n", t, res.Outputs(t), res.DiameterAt(t))
 	}
 
 	// 3. What does the theory say about this model?
-	bound := m.ContractionLowerBound()
-	fmt.Printf("\nexact consensus solvable: %v\n", m.ExactConsensusSolvable())
-	fmt.Printf("proven contraction lower bound: %.4g (%s)\n", bound.Rate, bound.Theorem)
-	fmt.Printf("midpoint's measured per-round contraction: %.4g\n", trace.GeometricRate())
+	fmt.Printf("\nexact consensus solvable: %v\n", solv.ExactConsensusSolvable)
+	fmt.Printf("proven contraction lower bound: %.4g (%s)\n", solv.BoundRate, solv.BoundTheorem)
+	fmt.Printf("midpoint's measured per-round contraction: %.4g\n", res.GeometricRate())
 	fmt.Println("\nmidpoint contracts by exactly the proven optimum 1/2 in the worst")
 	fmt.Println("case — that is the headline tightness result of the paper.")
 }

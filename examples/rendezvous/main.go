@@ -1,6 +1,6 @@
 // Rendezvous in the plane: the multi-agent rendezvous problem (Lin,
 // Morse, Anderson — cited in the paper's introduction) solved with the
-// midpoint algorithm run coordinate-wise via the vector runner.
+// midpoint algorithm run coordinate-wise via consensus.VectorRun.
 //
 // A swarm of robots must gather at a single point, but each robot only
 // sees a changing subset of the others (its communication in-neighbors).
@@ -13,55 +13,64 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/algorithms"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/vector"
+	"repro/consensus"
 )
 
 const n = 7
 
 func main() {
 	rng := rand.New(rand.NewSource(3))
-	positions := make([]vector.Point, n)
+	positions := make([][]float64, n)
 	for i := range positions {
-		positions[i] = vector.Point{rng.Float64() * 10, rng.Float64() * 10}
+		positions[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
 	}
 	fmt.Println("initial positions:")
 	for i, p := range positions {
 		fmt.Printf("  robot %d: (%.2f, %.2f)\n", i, p[0], p[1])
 	}
-	lo, hi := vector.BoundingBox(positions)
 
-	runner, err := vector.NewRunner(algorithms.Midpoint{}, positions)
+	// The changing visibility pattern: a fresh random non-split graph per
+	// round, shared by both coordinates (one physical radio round).
+	res, err := consensus.VectorRun(context.Background(), consensus.VectorSpec{
+		Algorithm: "midpoint",
+		Adversary: "randomnonsplit:0.25",
+		Seed:      17,
+		Points:    positions,
+		Rounds:    12,
+	})
 	if err != nil {
 		panic(err)
 	}
 
-	// The changing visibility pattern: a fresh random non-split graph per
-	// round, shared by both coordinates (one physical radio round).
-	patRng := rand.New(rand.NewSource(17))
-	src := core.Func(func(int, *core.Config) graph.Graph {
-		return graph.RandomNonSplit(patRng, n, 0.25)
-	})
-
 	fmt.Println("\nround   swarm spread (max pairwise distance)")
-	fmt.Printf("%5d   %.6f\n", 0, runner.Diameter())
-	const rounds = 12
-	for t := 1; t <= rounds; t++ {
-		runner.Run(src, 1)
-		fmt.Printf("%5d   %.6f\n", t, runner.Diameter())
+	for t, d := range res.Diameters {
+		fmt.Printf("%5d   %.6f\n", t, d)
 	}
 
-	final := runner.Positions()
+	final := res.Positions
 	fmt.Printf("\nrendezvous point: (%.4f, %.4f)\n", final[0][0], final[0][1])
+
+	// Validity, coordinate-wise: every robot ends inside the initial
+	// bounding box.
 	inBox := true
-	for _, p := range final {
-		if !vector.InBox(p, lo, hi, 1e-9) {
-			inBox = false
+	for d := 0; d < 2; d++ {
+		lo, hi := positions[0][d], positions[0][d]
+		for _, p := range positions[1:] {
+			if p[d] < lo {
+				lo = p[d]
+			}
+			if p[d] > hi {
+				hi = p[d]
+			}
+		}
+		for _, p := range final {
+			if p[d] < lo-1e-9 || p[d] > hi+1e-9 {
+				inBox = false
+			}
 		}
 	}
 	fmt.Printf("all robots inside the initial bounding box: %v\n", inBox)

@@ -1,0 +1,126 @@
+package async
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// AgentRoundBased embeds an arbitrary synchronous core.Agent into the
+// round-based asynchronous framework of Section 8: the process waits for
+// n-f messages of its current round (its own included), delivers them to
+// the wrapped agent as one synchronous round — senders in ascending index
+// order, exactly the order Config.Step builds an inbox — and broadcasts
+// the agent's next-round message.
+//
+// This generalizes RoundBased from value-only UpdateFn rules to any
+// algorithm of the synchronous model, including those with auxiliary
+// message payloads (amortized midpoint, flood-root) or stateful updates
+// (quantized midpoint's grid snapping happens in NewAgent). The effective
+// communication graph of each asynchronous round has minimum in-degree
+// >= n-f, so the reduction behind Theorem 6 (Section 8.1) applies
+// unchanged.
+type AgentRoundBased struct {
+	id, n, f int
+	agent    core.Agent
+	maxRound int
+
+	round int
+	inbox map[int]map[int]Message // round -> sender -> message
+
+	// deliverScratch is reused across rounds for the synchronous inbox.
+	deliverScratch []core.Message
+}
+
+// NewAgentRoundBased wraps agent (agent id's state machine of some
+// core.Algorithm on n agents) as a round-based asynchronous process
+// tolerating f crashes. maxRound caps the executed rounds; 0 means no cap.
+func NewAgentRoundBased(agent core.Agent, id, n, f, maxRound int) *AgentRoundBased {
+	if f < 0 || f >= n {
+		panic(fmt.Sprintf("async: AgentRoundBased requires 0 <= f < n, got f=%d n=%d", f, n))
+	}
+	return &AgentRoundBased{
+		id: id, n: n, f: f,
+		agent:    agent,
+		maxRound: maxRound,
+		round:    1,
+		inbox:    make(map[int]map[int]Message),
+	}
+}
+
+// ID implements Process.
+func (p *AgentRoundBased) ID() int { return p.id }
+
+// Round returns the process's current round number.
+func (p *AgentRoundBased) Round() int { return p.round }
+
+// Output implements Process.
+func (p *AgentRoundBased) Output() float64 { return p.agent.Output() }
+
+// Agent exposes the wrapped agent for inspection; callers must not mutate
+// it.
+func (p *AgentRoundBased) Agent() core.Agent { return p.agent }
+
+// outgoing builds the broadcast of the given round. The agent's Aux
+// payload is deep-copied: unlike the synchronous lockstep model, async
+// messages stay in flight while the sender keeps advancing rounds, so an
+// Aux slice aliasing sender state would be corrupted before delivery.
+func (p *AgentRoundBased) outgoing(round int) Message {
+	m := p.agent.Broadcast(round)
+	var aux []float64
+	if len(m.Aux) > 0 {
+		aux = append(aux, m.Aux...)
+	}
+	return Message{Round: round, Value: m.Value, Aux: aux}
+}
+
+// Init implements Process: broadcast the round-1 message.
+func (p *AgentRoundBased) Init() []Message {
+	return []Message{p.outgoing(1)}
+}
+
+// Receive implements Process.
+func (p *AgentRoundBased) Receive(m Message) []Message {
+	if m.Round < p.round {
+		return nil // stale round, communication closed
+	}
+	buf := p.inbox[m.Round]
+	if buf == nil {
+		buf = make(map[int]Message, p.n)
+		p.inbox[m.Round] = buf
+	}
+	if _, dup := buf[m.From]; dup {
+		return nil
+	}
+	buf[m.From] = m
+
+	var out []Message
+	for {
+		cur := p.inbox[p.round]
+		if len(cur) < p.n-p.f {
+			break
+		}
+		// Deliver the round as a synchronous inbox: senders in ascending
+		// index order, matching Config.Step's self-loop-included inbox.
+		senders := make([]int, 0, len(cur))
+		for from := range cur {
+			senders = append(senders, from)
+		}
+		sort.Ints(senders)
+		msgs := p.deliverScratch[:0]
+		for _, from := range senders {
+			am := cur[from]
+			msgs = append(msgs, core.Message{From: from, Value: am.Value, Aux: am.Aux})
+		}
+		p.deliverScratch = msgs[:0]
+		p.agent.Deliver(p.round, msgs)
+		delete(p.inbox, p.round)
+		p.round++
+		if p.maxRound > 0 && p.round > p.maxRound {
+			return out
+		}
+		out = append(out, p.outgoing(p.round))
+	}
+	return out
+}

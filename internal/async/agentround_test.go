@@ -1,0 +1,132 @@
+package async_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/async"
+	"repro/internal/core"
+)
+
+func newAgentSystem(t *testing.T, alg core.Algorithm, n, f int, inputs []float64, maxRound int) []async.Process {
+	t.Helper()
+	procs := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = async.NewAgentRoundBased(alg.NewAgent(i, n, inputs[i]), i, n, f, maxRound)
+	}
+	return procs
+}
+
+// The agent bridge running an UpdateFn-equivalent algorithm must agree
+// with the original RoundBased process on every delivery schedule: both
+// compute the midpoint of the same n-f-message quorums.
+func TestAgentRoundBasedMatchesRoundBasedMidpoint(t *testing.T) {
+	const n, f, rounds = 5, 2, 12
+	inputs := []float64{0, 1, 0.25, 0.75, 0.5}
+
+	viaUpdate := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		viaUpdate[i] = async.NewRoundBased(i, n, f, inputs[i], async.MidpointUpdate, rounds)
+	}
+	viaAgent := newAgentSystem(t, algorithms.Midpoint{}, n, f, inputs, rounds)
+
+	for _, seed := range []int64{1, 2, 7} {
+		crashes := []async.Crash{{Agent: 1, AfterBroadcasts: 1, Recipients: 1 << 2}}
+		s1, err := async.NewSimulator(viaUpdate, async.UniformDelays(seed, 0.1), crashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := async.NewSimulator(viaAgent, async.UniformDelays(seed, 0.1), crashes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1.RunUntil(float64(rounds + 2))
+		s2.RunUntil(float64(rounds + 2))
+		got, want := s2.CorrectOutputs(), s1.CorrectOutputs()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: agent bridge output %v, RoundBased output %v", seed, got, want)
+			}
+		}
+		// Fresh processes for the next seed (state was consumed).
+		for i := 0; i < n; i++ {
+			viaUpdate[i] = async.NewRoundBased(i, n, f, inputs[i], async.MidpointUpdate, rounds)
+		}
+		viaAgent = newAgentSystem(t, algorithms.Midpoint{}, n, f, inputs, rounds)
+	}
+}
+
+// Quantized midpoint through the bridge: all outputs must stay on the
+// grid and converge to a single grid point.
+func TestAgentRoundBasedQuantized(t *testing.T) {
+	const n, f, rounds, q = 6, 2, 20, 0.125
+	inputs := []float64{0, 1, 0.5, 0.25, 0.875, 0.625}
+	procs := newAgentSystem(t, algorithms.QuantizedMidpoint{Q: q}, n, f, inputs, rounds)
+	sim, err := async.NewSimulator(procs, async.UniformDelays(3, 0.05), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(float64(rounds + 2))
+	outs := sim.CorrectOutputs()
+	for i, y := range outs {
+		if r := math.Mod(y/q, 1); r != 0 {
+			t.Errorf("agent %d output %v off the %v grid", i, y, q)
+		}
+	}
+	if d := sim.CorrectDiameter(); d != 0 {
+		t.Errorf("quantized midpoint did not reach exact agreement: diameter %v, outputs %v", d, outs)
+	}
+}
+
+// Flood-root through the bridge: its Aux payload (informed flag + root
+// value) must survive asynchronous transport, so every agent that keeps
+// making quorums ends at the root's initial value.
+func TestAgentRoundBasedFloodRootAux(t *testing.T) {
+	const n, f, rounds = 5, 1, 10
+	inputs := []float64{42, 1, 2, 3, 4}
+	procs := newAgentSystem(t, algorithms.FloodRoot{Root: 0}, n, f, inputs, rounds)
+	sim, err := async.NewSimulator(procs, async.UniformDelays(9, 0.2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(float64(rounds + 2))
+	for i, y := range sim.CorrectOutputs() {
+		if y != 42 {
+			t.Errorf("agent %d output %v, want the root value 42 (outputs %v)",
+				i, y, sim.CorrectOutputs())
+		}
+	}
+}
+
+// The amortized midpoint broadcasts an Aux interval that aliases agent
+// state in the synchronous model; the bridge must deep-copy it so that
+// in-flight messages are not corrupted by the sender's later rounds.
+// With crash-free uniform delays the async run still converges.
+func TestAgentRoundBasedAmortizedConverges(t *testing.T) {
+	const n, f, rounds = 6, 2, 30
+	inputs := []float64{0, 1, 0.2, 0.9, 0.4, 0.7}
+	procs := newAgentSystem(t, algorithms.AmortizedMidpoint{}, n, f, inputs, rounds)
+	sim, err := async.NewSimulator(procs, async.UniformDelays(11, 0.05), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(float64(rounds + 2))
+	if d := sim.CorrectDiameter(); d > 1e-3 {
+		t.Errorf("amortized midpoint diameter %v after %d rounds, want near 0", d, rounds)
+	}
+	for _, y := range sim.CorrectOutputs() {
+		if y < 0 || y > 1 {
+			t.Errorf("validity violated: output %v outside [0,1]", y)
+		}
+	}
+}
+
+func TestAgentRoundBasedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("f = n accepted")
+		}
+	}()
+	async.NewAgentRoundBased(algorithms.Midpoint{}.NewAgent(0, 3, 0), 0, 3, 3, 0)
+}

@@ -23,6 +23,11 @@ type Message struct {
 	Round int
 	// Value carries the consensus variable.
 	Value float64
+	// Aux carries extra algorithm state for round-based agents whose
+	// synchronous counterparts broadcast auxiliary payloads (e.g. the
+	// amortized midpoint's interval or flood-root's informed flag); nil
+	// otherwise. Receivers must not mutate it.
+	Aux []float64
 	// Set carries the MinRelay value set (sorted ascending); nil
 	// otherwise. Receivers must not mutate it.
 	Set []float64

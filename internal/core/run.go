@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,6 +104,17 @@ type Func func(round int, c *Config) graph.Graph
 // Next implements PatternSource.
 func (f Func) Next(round int, c *Config) graph.Graph { return f(round, c) }
 
+// ObliviousFunc adapts a configuration-independent function to a
+// PatternSource that declares itself Oblivious, so it can drive the dense
+// backend (random schedulers drawing graphs from their own RNG, say).
+type ObliviousFunc func(round int) graph.Graph
+
+// Next implements PatternSource.
+func (f ObliviousFunc) Next(round int, _ *Config) graph.Graph { return f(round) }
+
+// ObliviousSource implements Oblivious.
+func (ObliviousFunc) ObliviousSource() bool { return true }
+
 // Trace records an execution: the initial values, the graph played and the
 // value vector after every round.
 type Trace struct {
@@ -126,12 +138,21 @@ func Run(alg Algorithm, inputs []float64, src PatternSource, rounds int) *Trace 
 
 // RunBackend is Run with an explicit backend selection.
 func RunBackend(alg Algorithm, inputs []float64, src PatternSource, rounds int, backend Backend) *Trace {
+	tr, _ := RunBackendCtx(context.Background(), alg, inputs, src, rounds, backend)
+	return tr
+}
+
+// RunBackendCtx is RunBackend with cooperative cancellation: the round
+// loop checks ctx between rounds and returns (nil, ctx.Err()) when the
+// context is done. A context that can never be cancelled (nil Done
+// channel, e.g. context.Background) adds no per-round work.
+func RunBackendCtx(ctx context.Context, alg Algorithm, inputs []float64, src PatternSource, rounds int, backend Backend) (*Trace, error) {
 	if backend.DenseEnabled() && obliviousSource(src) {
 		if d, ok := AsDense(alg); ok {
-			return runDense(alg.Name(), NewDenseRunner(d, inputs), src, rounds)
+			return runDense(ctx, alg.Name(), NewDenseRunner(d, inputs), src, rounds)
 		}
 	}
-	return runAgents(alg.Name(), NewConfig(alg, inputs), src, rounds)
+	return runAgents(ctx, alg.Name(), NewConfig(alg, inputs), src, rounds)
 }
 
 // RunConfig continues an execution from an existing configuration, again
@@ -142,16 +163,23 @@ func RunConfig(name string, c *Config, src PatternSource, rounds int) *Trace {
 
 // RunConfigBackend is RunConfig with an explicit backend selection.
 func RunConfigBackend(name string, c *Config, src PatternSource, rounds int, backend Backend) *Trace {
+	tr, _ := RunConfigBackendCtx(context.Background(), name, c, src, rounds, backend)
+	return tr
+}
+
+// RunConfigBackendCtx is RunConfigBackend with cooperative cancellation,
+// with the same contract as RunBackendCtx.
+func RunConfigBackendCtx(ctx context.Context, name string, c *Config, src PatternSource, rounds int, backend Backend) (*Trace, error) {
 	if backend.DenseEnabled() && obliviousSource(src) {
 		if r, ok := DenseRunnerFromConfig(c); ok {
-			return runDense(name, r, src, rounds)
+			return runDense(ctx, name, r, src, rounds)
 		}
 	}
-	return runAgents(name, c, src, rounds)
+	return runAgents(ctx, name, c, src, rounds)
 }
 
 // runAgents is the interface-based round loop — the reference backend.
-func runAgents(name string, c *Config, src PatternSource, rounds int) *Trace {
+func runAgents(ctx context.Context, name string, c *Config, src PatternSource, rounds int) (*Trace, error) {
 	if rounds < 0 {
 		panic(fmt.Sprintf("core: negative round count %d", rounds))
 	}
@@ -162,24 +190,32 @@ func runAgents(name string, c *Config, src PatternSource, rounds int) *Trace {
 		Outputs:   make([][]float64, 0, rounds+1),
 	}
 	tr.Outputs = append(tr.Outputs, c.Outputs())
+	done := ctx.Done()
 	// Run on a private clone and step in place: one clone total instead of
 	// one per agent per round. Pattern sources still observe the live
 	// configuration (read-only, per the PatternSource contract).
 	cur := c.Clone()
 	for t := 1; t <= rounds; t++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		g := src.Next(cur.round+1, cur)
 		cur.StepInPlace(g)
 		tr.Graphs = append(tr.Graphs, g)
 		tr.Outputs = append(tr.Outputs, cur.Outputs())
 	}
 	tr.Final = cur
-	return tr
+	return tr, nil
 }
 
 // runDense is the dense round loop. src must be oblivious: it is handed a
 // nil configuration. The trace's Final configuration is materialized from
 // the dense state after the last round.
-func runDense(name string, r *DenseRunner, src PatternSource, rounds int) *Trace {
+func runDense(ctx context.Context, name string, r *DenseRunner, src PatternSource, rounds int) (*Trace, error) {
 	if rounds < 0 {
 		panic(fmt.Sprintf("core: negative round count %d", rounds))
 	}
@@ -190,14 +226,22 @@ func runDense(name string, r *DenseRunner, src PatternSource, rounds int) *Trace
 		Outputs:   make([][]float64, 0, rounds+1),
 	}
 	tr.Outputs = append(tr.Outputs, r.Outputs())
+	done := ctx.Done()
 	for t := 1; t <= rounds; t++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		g := src.Next(r.Round()+1, nil)
 		r.Step(g)
 		tr.Graphs = append(tr.Graphs, g)
 		tr.Outputs = append(tr.Outputs, r.Outputs())
 	}
 	tr.Final = r.Config()
-	return tr
+	return tr, nil
 }
 
 // Rounds returns the number of executed rounds.

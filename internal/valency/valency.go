@@ -139,6 +139,23 @@ func (e Estimator) params() Params {
 	return Params{Depth: e.Depth, Settle: e.Settle, Tol: e.Tol, Convex: e.Convex}
 }
 
+// EstimatorFromEngine returns an estimator bound to an existing engine,
+// inheriting its model and parameters. It is how callers that pool
+// engines (e.g. the public consensus facade, which shares one engine per
+// model/algorithm/depth across sessions) hand the paper's adversaries an
+// estimator whose transposition tables are the shared ones.
+func EstimatorFromEngine(eng *Engine) Estimator {
+	p := eng.Params()
+	return Estimator{
+		Model:  eng.Model(),
+		Depth:  p.Depth,
+		Settle: p.Settle,
+		Tol:    p.Tol,
+		Convex: p.Convex,
+		eng:    eng,
+	}
+}
+
 // Engine returns the engine backing the estimator. When the estimator was
 // built by NewEstimator and its fields were not mutated afterwards, the
 // bound persistent engine is returned; otherwise a fresh engine matching
