@@ -21,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/valency"
+	"repro/internal/vector"
 )
 
 // BenchmarkExperiment regenerates every paper table and figure; the
@@ -144,6 +145,98 @@ func BenchmarkDenseStep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkBatchStep measures the batched execution plane against B
+// independent dense runners on one shared deaf(K16) graph: the batch
+// steps every run per call, so ns/op divided by B is the per-run round
+// cost — the receiver segmentation and mask scan are paid once per
+// batch instead of once per run.
+func BenchmarkBatchStep(b *testing.B) {
+	const n = 16
+	rng := rand.New(rand.NewSource(11))
+	g := graph.Deaf(graph.Complete(n), 3)
+	d, _ := core.AsDense(algorithms.Midpoint{})
+	for _, B := range []int{8, 64} {
+		inputs := make([][]float64, B)
+		for r := range inputs {
+			inputs[r] = make([]float64, n)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float64()
+			}
+		}
+		b.Run("singles/B"+strconv.Itoa(B), func(b *testing.B) {
+			runners := make([]*core.DenseRunner, B)
+			for r := range runners {
+				runners[r] = core.NewDenseRunner(d, inputs[r])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range runners {
+					r.Step(g)
+				}
+			}
+		})
+		b.Run("batch/B"+strconv.Itoa(B), func(b *testing.B) {
+			br := core.NewBatchRunner(d, inputs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br.Step(g)
+			}
+		})
+	}
+}
+
+// BenchmarkVectorLift measures the d-dimensional lift: the PR 2 path
+// (one DenseRunner per coordinate) against the batch plane the vector
+// runner now rides (all coordinates as one batch).
+func BenchmarkVectorLift(b *testing.B) {
+	const n, dim, rounds = 16, 8, 1000
+	rng := rand.New(rand.NewSource(21))
+	points := make([]vector.Point, n)
+	for i := range points {
+		points[i] = make(vector.Point, dim)
+		for c := range points[i] {
+			points[i][c] = rng.Float64()
+		}
+	}
+	pool := model.DeafModel(graph.Complete(n)).Graphs()
+	d, _ := core.AsDense(algorithms.Midpoint{})
+	b.Run("per-coord", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runners := make([]*core.DenseRunner, dim)
+			coords := make([]float64, n)
+			for c := 0; c < dim; c++ {
+				for j, p := range points {
+					coords[j] = p[c]
+				}
+				runners[c] = core.NewDenseRunner(d, coords)
+			}
+			for t := 0; t < rounds; t++ {
+				g := pool[t%len(pool)]
+				for _, r := range runners {
+					r.Step(g)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runner, err := vector.NewRunnerBackend(algorithms.Midpoint{}, points, core.BackendDense)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := core.Cycle{Graphs: pool}
+			runner.Run(src, rounds)
+			if runner.Round() != rounds {
+				b.Fatal("short lift")
+			}
+		}
+	})
 }
 
 // BenchmarkContractionDense is the acceptance race of the dense backend:

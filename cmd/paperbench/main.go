@@ -15,14 +15,21 @@
 //	paperbench -backend agents  force the interface-based reference backend
 //	                            (default "auto" uses the dense kernel where
 //	                            supported; tables are bit-identical)
+//	paperbench -bench           run the machine-readable throughput bench
+//	                            (batch-plane sweep vs goroutine-per-run)
+//	paperbench -bench -json F   additionally write the results as JSON to F
+//	                            (CI uploads BENCH_PR4.json as an artifact)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,6 +50,11 @@ func run(args []string, out io.Writer) error {
 	runPat := fs.String("run", "", "only run experiments whose ID contains this substring")
 	format := fs.String("format", "table", "output format: table | csv")
 	quiet := fs.Bool("q", false, "suppress per-experiment timing lines")
+	bench := fs.Bool("bench", false, "run the sweep-throughput benchmark instead of the experiments")
+	jsonPath := fs.String("json", "", "with -bench: write results as JSON to this file")
+	benchN := fs.Int("benchn", 5, "with -bench: samples per benchmark (median reported)")
+	benchSpecs := fs.Int("benchspecs", 64, "with -bench: specs per sweep")
+	benchRounds := fs.Int("benchrounds", 1000, "with -bench: rounds per run")
 	backend := consensus.BackendFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +64,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := backend.Install(); err != nil {
 		return err
+	}
+
+	if *bench {
+		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, string(backend.Value()))
 	}
 
 	if *list {
@@ -85,5 +101,122 @@ func run(args []string, out io.Writer) error {
 	if matched == 0 {
 		return fmt.Errorf("no experiment matches %q; try -list", *runPat)
 	}
+	return nil
+}
+
+// benchReport is the machine-readable benchmark artifact (BENCH_PR4.json
+// in CI): the batch-plane sweep against PR 3's goroutine-per-run sweep,
+// medians over the sampled repetitions, so the perf trajectory is
+// tracked commit over commit.
+type benchReport struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	Backend     string       `json:"backend"`
+	Specs       int          `json:"specs"`
+	Rounds      int          `json:"rounds"`
+	Samples     int          `json:"samples"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+	// SweepSpeedup is sweep/single median over sweep/batch median — the
+	// batch plane's throughput multiplier at equal worker count.
+	SweepSpeedup float64 `json:"sweep_speedup_batch_vs_single"`
+}
+
+// benchEntry is one measured configuration.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	MedianNs   int64   `json:"median_ns"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// runBench measures the acceptance sweep (benchSpecs specs, n = 16,
+// benchRounds rounds over deaf(K16) midpoint, inputs varied per spec)
+// through both sweep paths and reports medians.
+func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, backend string) error {
+	if samples < 1 || specCount < 1 || rounds < 0 {
+		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d", samples, specCount, rounds)
+	}
+	specs := make([]consensus.RunSpec, specCount)
+	for i := range specs {
+		inputs := consensus.SpreadInputs(16)
+		inputs[2] = float64(i) / float64(specCount)
+		specs[i] = consensus.RunSpec{
+			Model: "deaf:16", Algorithm: "midpoint", Adversary: "cycle",
+			Rounds: rounds, Inputs: inputs,
+		}
+	}
+	measure := func(opts ...consensus.SweepOption) (int64, error) {
+		durations := make([]time.Duration, 0, samples)
+		for s := 0; s < samples; s++ {
+			all := append([]consensus.SweepOption{
+				consensus.WithSweepCache(consensus.NewSweepCache()),
+			}, opts...)
+			start := time.Now()
+			results, err := consensus.Sweep(context.Background(), specs, all...)
+			if err != nil {
+				return 0, err
+			}
+			for _, r := range results {
+				if r.Err != "" {
+					return 0, fmt.Errorf("spec %d: %s", r.Index, r.Err)
+				}
+			}
+			durations = append(durations, time.Since(start))
+		}
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		return durations[len(durations)/2].Nanoseconds(), nil
+	}
+
+	singleNs, err := measure(consensus.SweepBatchSize(1))
+	if err != nil {
+		return err
+	}
+	batchNs, err := measure()
+	if err != nil {
+		return err
+	}
+	perSec := func(ns int64) float64 {
+		if ns <= 0 {
+			return 0
+		}
+		return float64(specCount) / (float64(ns) / 1e9)
+	}
+	report := benchReport{
+		Schema:      "repro-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Backend:     backend,
+		Specs:       specCount,
+		Rounds:      rounds,
+		Samples:     samples,
+		Benchmarks: []benchEntry{
+			{Name: "sweep/single", MedianNs: singleNs, RunsPerSec: perSec(singleNs)},
+			{Name: "sweep/batch", MedianNs: batchNs, RunsPerSec: perSec(batchNs)},
+		},
+	}
+	if batchNs > 0 {
+		report.SweepSpeedup = float64(singleNs) / float64(batchNs)
+	}
+	fmt.Fprintf(out, "sweep/single  %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
+	fmt.Fprintf(out, "sweep/batch   %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))
+	fmt.Fprintf(out, "batch speedup %.2fx\n", report.SweepSpeedup)
+	if jsonPath == "" {
+		return nil
+	}
+	body, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if err := os.WriteFile(jsonPath, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", jsonPath)
 	return nil
 }

@@ -1,9 +1,59 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestRunBenchJSON runs the -bench mode on a scaled-down sweep and
+// checks the JSON artifact is well-formed: both sweep paths measured,
+// a finite speedup, and the run parameters echoed back.
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	args := []string{"-bench", "-benchn", "1", "-benchspecs", "8", "-benchrounds", "50", "-json", path}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "batch speedup") {
+		t.Errorf("bench output missing speedup line:\n%s", sb.String())
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema     string `json:"schema"`
+		Specs      int    `json:"specs"`
+		Rounds     int    `json:"rounds"`
+		Benchmarks []struct {
+			Name       string  `json:"name"`
+			MedianNs   int64   `json:"median_ns"`
+			RunsPerSec float64 `json:"runs_per_sec"`
+		} `json:"benchmarks"`
+		SweepSpeedup float64 `json:"sweep_speedup_batch_vs_single"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatalf("bad JSON artifact: %v\n%s", err, body)
+	}
+	if report.Schema != "repro-bench/v1" || report.Specs != 8 || report.Rounds != 50 {
+		t.Errorf("artifact parameters wrong: %+v", report)
+	}
+	if len(report.Benchmarks) != 2 || report.Benchmarks[0].Name != "sweep/single" || report.Benchmarks[1].Name != "sweep/batch" {
+		t.Errorf("artifact benchmarks wrong: %+v", report.Benchmarks)
+	}
+	for _, b := range report.Benchmarks {
+		if b.MedianNs <= 0 || b.RunsPerSec <= 0 {
+			t.Errorf("benchmark %s has non-positive measurements: %+v", b.Name, b)
+		}
+	}
+	if report.SweepSpeedup <= 0 {
+		t.Errorf("non-positive speedup %v", report.SweepSpeedup)
+	}
+}
 
 func TestRunList(t *testing.T) {
 	var sb strings.Builder

@@ -88,6 +88,55 @@ func BenchmarkSweepCached(b *testing.B) {
 	}
 }
 
+// sweepBatchSpecs returns the acceptance sweep: 64 specs over deaf(K16)
+// midpoint, 1000 rounds each, inputs varied per spec (a Table-1-style
+// input family) so nothing is answered from cache.
+func sweepBatchSpecs() []RunSpec {
+	specs := make([]RunSpec, 64)
+	for i := range specs {
+		inputs := SpreadInputs(16)
+		inputs[2] = float64(i) / 64
+		specs[i] = RunSpec{Model: "deaf:16", Algorithm: "midpoint", Adversary: "cycle", Rounds: 1000, Inputs: inputs}
+	}
+	return specs
+}
+
+// BenchmarkSweepBatch is the batch plane's acceptance race: the 64-spec,
+// n=16, 1000-round sweep once through the goroutine-per-run path
+// (SweepBatchSize(1), PR 3's Sweep semantics) and once through the tiled
+// batch plane, at equal worker count. The acceptance criterion is >= 2x
+// throughput with byte-identical per-run outputs and cache fingerprints
+// (TestSweepBatchMatchesSingle / TestSweepBatchSharesCacheKeys).
+func BenchmarkSweepBatch(b *testing.B) {
+	specs := sweepBatchSpecs()
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name string
+		opts []SweepOption
+	}{
+		{"single", []SweepOption{SweepBatchSize(1)}},
+		{"batch", nil},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := append([]SweepOption{WithSweepCache(NewSweepCache())}, mode.opts...)
+				results, err := Sweep(ctx, specs, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != "" || r.Summary == nil {
+						b.Fatalf("spec %d failed: %s", r.Index, r.Err)
+					}
+				}
+			}
+			runs := float64(len(specs)) * float64(b.N)
+			b.ReportMetric(runs/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}
+
 // BenchmarkSessionStreaming measures the constant-memory streaming path
 // on the same dense race.
 func BenchmarkSessionStreaming(b *testing.B) {

@@ -309,11 +309,16 @@ func DecisionSweep(ctx context.Context, req DecisionRequest, opts ...QueryOption
 			Model: m, Algorithm: alg, N: m.N(), Seed: seed, Depth: DefaultDepth,
 		})
 	}
-	if _, err := newSrc(); err != nil {
+	src, err := newSrc()
+	if err != nil {
 		return nil, err
 	}
 
 	d := approx.Decider{Alg: alg, Contraction: req.Contraction}
+	if points, ok, err := denseDecisionPoints(ctx, d, alg, inputs, src, delta, req.Eps, lower); ok {
+		return points, err
+	}
+
 	points := make([]DecisionPoint, 0, len(req.Eps))
 	for _, eps := range req.Eps {
 		if err := ctx.Err(); err != nil {
@@ -333,6 +338,73 @@ func DecisionSweep(ctx context.Context, req DecisionRequest, opts ...QueryOption
 		})
 	}
 	return points, nil
+}
+
+// denseDecisionPoints is the batch-plane decision sweep: the per-ε
+// deciding runs of a sweep share one trajectory whenever the adversary
+// is oblivious (fresh equal-seed sources replay the same graph
+// sequence) and the algorithm steps densely, so the batch degenerates
+// to one dense run sampled at every tolerance's decision round — the
+// decisions of an r-round run are exactly the outputs at round r of the
+// longer shared execution. Per-point numbers are bit-identical to the
+// sequential per-ε path (the differential test pins this); ok is false
+// when the request must take that path.
+func denseDecisionPoints(ctx context.Context, d approx.Decider, alg core.Algorithm, inputs []float64, src core.PatternSource, delta float64, epss []float64, lower func(eps float64) float64) ([]DecisionPoint, bool, error) {
+	da, denseOK := core.AsDense(alg)
+	if !denseOK || !core.CurrentBackend().DenseEnabled() || !core.IsOblivious(src) {
+		return nil, false, nil
+	}
+	rounds := make([]int, len(epss))
+	maxRounds := 0
+	for i, eps := range epss {
+		rounds[i] = d.Rounds(delta, eps)
+		if rounds[i] > maxRounds {
+			maxRounds = rounds[i]
+		}
+	}
+	br := core.NewBatchRunner(da, [][]float64{inputs})
+	out := make([]float64, len(inputs))
+	hullLo, hullHi := core.Hull(inputs)
+	points := make([]DecisionPoint, len(epss))
+	sample := func(t int) {
+		for i, r := range rounds {
+			if r != t {
+				continue
+			}
+			br.Outputs(0, out)
+			spread := core.Diameter(out)
+			validity := true
+			for _, v := range out {
+				if v < hullLo-1e-9 || v > hullHi+1e-9 {
+					validity = false
+				}
+			}
+			points[i] = DecisionPoint{
+				Eps:        epss[i],
+				LowerBound: lower(epss[i]),
+				Rounds:     r,
+				Spread:     spread,
+				OK:         spread <= epss[i]*(1+1e-9) && validity,
+			}
+		}
+	}
+	sample(0)
+	done := ctx.Done()
+	for t := 1; t <= maxRounds; t++ {
+		if done != nil {
+			select {
+			case <-done:
+				// Unlike the sequential path's completed prefix, the
+				// shared trajectory fills points in decision-round
+				// order; return none rather than fabricated zeros.
+				return nil, true, ctx.Err()
+			default:
+			}
+		}
+		br.Step(src.Next(t, nil))
+		sample(t)
+	}
+	return points, true, nil
 }
 
 // theoremLowerBound resolves a decision-time theorem name to its bound.

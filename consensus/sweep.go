@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 // RunSpec is the declarative form of a session configuration — the batch
@@ -78,28 +80,39 @@ func Summarize(res *Result) RunSummary {
 		GeometricRate:   res.GeometricRate(),
 		WorstRoundRatio: res.WorstRoundRatio(),
 		FinalOutputs:    res.FinalOutputs(),
-		Validity:        res.ValidityHolds(1e-9),
+		Validity:        res.ValidityHolds(validityTol),
 	}
 }
 
 // SweepCache memoizes run summaries by configuration fingerprint. It is
 // safe for concurrent use and shareable across Sweep calls and servers.
+// The cache is bounded: past its entry capacity (NewSweepCacheSize, or
+// SweepCacheCapacity as a sweep option) insertions evict the oldest
+// entries first, so a long-lived server facing unbounded distinct specs
+// holds at most Capacity summaries.
 type SweepCache struct {
 	mu     sync.Mutex
 	m      map[string]RunSummary
+	order  []string // insertion order; order[head:] are live, FIFO eviction
+	head   int
 	max    int
 	hits   uint64
 	misses uint64
 }
 
-// defaultSweepCacheSize bounds a cache built by NewSweepCache; past the
-// cap insertions drop the oldest-unspecified entries (map order) to stay
-// bounded.
+// defaultSweepCacheSize bounds a cache built by NewSweepCache.
 const defaultSweepCacheSize = 1 << 16
 
 // NewSweepCache returns an empty cache with the default size bound.
-func NewSweepCache() *SweepCache {
-	return &SweepCache{m: make(map[string]RunSummary), max: defaultSweepCacheSize}
+func NewSweepCache() *SweepCache { return NewSweepCacheSize(defaultSweepCacheSize) }
+
+// NewSweepCacheSize returns an empty cache holding at most max entries
+// (the default bound for max <= 0).
+func NewSweepCacheSize(max int) *SweepCache {
+	if max <= 0 {
+		max = defaultSweepCacheSize
+	}
+	return &SweepCache{m: make(map[string]RunSummary), max: max}
 }
 
 // defaultSweepCache is the cache Sweep uses when the caller supplies
@@ -119,7 +132,42 @@ func (c *SweepCache) get(key string) (RunSummary, bool) {
 	return s, ok
 }
 
-// put stores a summary, evicting arbitrary entries when full. It
+// setCapacity bounds the entry count, evicting down to the new cap.
+func (c *SweepCache) setCapacity(max int) {
+	if max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = max
+	c.evictLocked(0)
+}
+
+// Capacity returns the entry bound.
+func (c *SweepCache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return defaultSweepCacheSize
+	}
+	return c.max
+}
+
+// evictLocked drops oldest entries until the cache fits max minus room.
+func (c *SweepCache) evictLocked(room int) {
+	for len(c.m)+room > c.max && c.head < len(c.order) {
+		delete(c.m, c.order[c.head])
+		c.order[c.head] = ""
+		c.head++
+	}
+	// Reclaim the order slice once the dead prefix dominates.
+	if c.head > len(c.order)/2 {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+// put stores a summary, evicting the oldest entries when full. It
 // tolerates a zero-value SweepCache by lazily adopting the defaults.
 func (c *SweepCache) put(key string, s RunSummary) {
 	c.mu.Lock()
@@ -130,15 +178,24 @@ func (c *SweepCache) put(key string, s RunSummary) {
 	if c.max <= 0 {
 		c.max = defaultSweepCacheSize
 	}
-	if len(c.m) >= c.max {
-		for k := range c.m {
-			delete(c.m, k)
-			if len(c.m) < c.max {
-				break
-			}
-		}
+	if _, exists := c.m[key]; !exists {
+		c.evictLocked(1)
+		c.order = append(c.order, key)
 	}
 	c.m[key] = s
+}
+
+// lateGet re-checks a key that already missed once (and was counted) in
+// this sweep: a concurrent sweep may have computed it in the meantime.
+// It counts a hit when served but no second miss otherwise.
+func (c *SweepCache) lateGet(key string) (RunSummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return s, ok
 }
 
 // Stats returns (hits, misses, entries).
@@ -161,9 +218,32 @@ func (s *Session) cacheKey() (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return fmt.Sprintf("%d/%d/%d|%s|%s|%s|r%d|s%d|d%d|%x",
-		s.lib.models().id, s.lib.algorithms().id, s.lib.adversaries().id,
-		s.modelSpec, s.alg.Name(), s.advSpec, s.rounds, s.seed, s.depth, fp), true
+	key := make([]byte, 0, 96+len(fp))
+	key = strconv.AppendUint(key, s.lib.models().id, 10)
+	key = append(key, '/')
+	key = strconv.AppendUint(key, s.lib.algorithms().id, 10)
+	key = append(key, '/')
+	key = strconv.AppendUint(key, s.lib.adversaries().id, 10)
+	key = append(key, '|')
+	key = append(key, s.modelSpec...)
+	key = append(key, '|')
+	key = append(key, s.alg.Name()...)
+	key = append(key, '|')
+	key = append(key, s.advSpec...)
+	key = append(key, "|r"...)
+	key = strconv.AppendInt(key, int64(s.rounds), 10)
+	key = append(key, "|s"...)
+	key = strconv.AppendInt(key, s.seed, 10)
+	key = append(key, "|d"...)
+	key = strconv.AppendInt(key, int64(s.depth), 10)
+	// The fingerprint is raw bytes, so length-prefix it: without the
+	// length the digit fields before it would not be uniquely decodable
+	// against fingerprints that happen to start with digits or '|'.
+	key = append(key, '|')
+	key = strconv.AppendInt(key, int64(len(fp)), 10)
+	key = append(key, ':')
+	key = append(key, fp...)
+	return string(key), true
 }
 
 // SweepResult is one sweep entry's outcome.
@@ -177,11 +257,16 @@ type SweepResult struct {
 
 // sweepConfig collects sweep options.
 type sweepConfig struct {
-	workers int
-	cache   *SweepCache
-	backend Backend
-	lib     *Library
+	workers  int
+	cache    *SweepCache
+	backend  Backend
+	lib      *Library
+	batch    int
+	cacheCap int
 }
+
+// DefaultSweepBatch is the default cap on runs per batch tile.
+const DefaultSweepBatch = 64
 
 // SweepOption configures Sweep.
 type SweepOption func(*sweepConfig)
@@ -206,15 +291,44 @@ func SweepLibrary(lib *Library) SweepOption {
 	return func(c *sweepConfig) { c.lib = lib }
 }
 
-// Sweep runs every spec over a bounded worker pool and returns one result
-// per spec, in input order. Individual failures land in the result's Err
-// field; the returned error is non-nil only when ctx is cancelled, in
-// which case unprocessed entries carry the context error. Results are
-// memoized in the (shared, fingerprint-keyed) sweep cache, so repeated
-// and overlapping sweeps do not recompute identical runs; valency-driven
+// SweepBatchSize caps the runs stepped together per batch tile
+// (default DefaultSweepBatch). n <= 1 disables batching entirely — every
+// spec runs through its own Session.Run, the pre-batch-plane behavior
+// the differential tests compare against.
+func SweepBatchSize(n int) SweepOption {
+	return func(c *sweepConfig) { c.batch = n }
+}
+
+// SweepCacheCapacity bounds the entry count of the sweep's cache,
+// evicting oldest-first past the cap. With WithSweepCache it re-bounds
+// that cache (the bound persists on it); without, the sweep uses a
+// private bounded cache — the process-wide shared default is never
+// shrunk by one caller's option.
+func SweepCacheCapacity(n int) SweepOption {
+	return func(c *sweepConfig) { c.cacheCap = n }
+}
+
+// Sweep runs every spec and returns one result per spec, in input
+// order. Individual failures land in the result's Err field; the
+// returned error is non-nil only when ctx is cancelled, in which case
+// unprocessed entries carry the context error. Results are memoized in
+// the (shared, bounded, fingerprint-keyed) sweep cache, so repeated and
+// overlapping sweeps do not recompute identical runs; valency-driven
 // entries additionally share the per-model engine pool.
+//
+// Execution is tiled onto the batch plane: after a parallel
+// resolve-and-cache-check pass, specs that share a (model, algorithm,
+// agent count, round budget) tile and can run densely under an
+// oblivious pattern source are stepped together as one core.BatchRunner
+// per tile — graphs still drawn per run, collapsing to one shared
+// segmentation when every run plays the same graph — while adaptive or
+// agent-backend specs keep the per-session path. Tiles and leftover
+// singles are then executed over a bounded worker pool. Per-run outputs,
+// summaries, and cache fingerprints are byte-identical either way
+// (SweepBatchSize(1) forces the unbatched path; the differential tests
+// compare the two).
 func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepResult, error) {
-	cfg := sweepConfig{workers: runtime.GOMAXPROCS(0), cache: defaultSweepCache}
+	cfg := sweepConfig{workers: runtime.GOMAXPROCS(0), batch: DefaultSweepBatch}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -224,33 +338,127 @@ func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepRe
 	if cfg.workers > len(specs) {
 		cfg.workers = len(specs)
 	}
+	switch {
+	case cfg.cache != nil && cfg.cacheCap > 0:
+		cfg.cache.setCapacity(cfg.cacheCap)
+	case cfg.cache == nil && cfg.cacheCap > 0:
+		cfg.cache = NewSweepCacheSize(cfg.cacheCap)
+	case cfg.cache == nil:
+		cfg.cache = defaultSweepCache
+	}
+
+	// Phase 1: resolve every spec, consult the cache, and build the
+	// fresh pattern source the run will consume — in parallel.
+	tasks := make([]sweepTask, len(specs))
+	runParallel(cfg.workers, len(specs), func(i int) {
+		tasks[i].prepare(ctx, specs[i], i, &cfg)
+	})
+
+	// Phase 2: tile the batchable remainder by (model, algorithm, n,
+	// rounds); everything else stays a single.
+	var units [][]*sweepTask
+	tiles := make(map[string][]*sweepTask)
+	var tileKeys []string
+	for i := range tasks {
+		t := &tasks[i]
+		if t.done {
+			continue
+		}
+		if cfg.batch > 1 && t.batchable {
+			key := t.tileKey()
+			if _, seen := tiles[key]; !seen {
+				tileKeys = append(tileKeys, key)
+			}
+			tiles[key] = append(tiles[key], t)
+		} else {
+			units = append(units, []*sweepTask{t})
+		}
+	}
+	for _, key := range tileKeys {
+		group := tiles[key]
+		// Split large tiles so one tile cannot serialize the pool: at
+		// most cfg.batch runs per tile, and at least one tile per
+		// worker when the group is large enough.
+		tile := (len(group) + cfg.workers - 1) / cfg.workers
+		if tile > cfg.batch {
+			tile = cfg.batch
+		}
+		if tile < 1 {
+			tile = 1
+		}
+		for len(group) > 0 {
+			end := tile
+			if end > len(group) {
+				end = len(group)
+			}
+			units = append(units, group[:end])
+			group = group[end:]
+		}
+	}
+
+	// Phase 3: execute the units over the worker pool.
+	runParallel(cfg.workers, len(units), func(u int) {
+		if len(units[u]) == 1 {
+			units[u][0].runSingle(ctx, &cfg)
+		} else {
+			runSweepTile(ctx, units[u], &cfg)
+		}
+	})
 
 	results := make([]SweepResult, len(specs))
+	for i := range tasks {
+		results[i] = tasks[i].res
+	}
+	return results, ctx.Err()
+}
+
+// runParallel fans f(0..n-1) out over at most workers goroutines.
+func runParallel(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
 	var next int64
 	var wg sync.WaitGroup
-	wg.Add(cfg.workers)
-	for w := 0; w < cfg.workers; w++ {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(specs) {
+				if i >= n {
 					return
 				}
-				results[i] = sweepOne(ctx, specs[i], i, &cfg)
+				f(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return results, ctx.Err()
 }
 
-// sweepOne processes one sweep entry: resolve, consult the cache, run.
-func sweepOne(ctx context.Context, spec RunSpec, index int, cfg *sweepConfig) SweepResult {
-	res := SweepResult{Index: index, Spec: spec}
+// sweepTask is one sweep entry moving through the phases.
+type sweepTask struct {
+	res       SweepResult
+	session   *Session
+	src       core.PatternSource
+	key       string
+	cacheable bool
+	batchable bool
+	done      bool
+}
+
+// prepare resolves the spec, consults the cache, and classifies the
+// task for tiling.
+func (t *sweepTask) prepare(ctx context.Context, spec RunSpec, index int, cfg *sweepConfig) {
+	t.res = SweepResult{Index: index, Spec: spec}
 	if err := ctx.Err(); err != nil {
-		res.Err = err.Error()
-		return res
+		t.fail(err)
+		return
 	}
 	var extra []Option
 	if cfg.lib != nil {
@@ -261,26 +469,192 @@ func sweepOne(ctx context.Context, spec RunSpec, index int, cfg *sweepConfig) Sw
 	}
 	session, err := NewSession(spec, extra...)
 	if err != nil {
-		res.Err = err.Error()
-		return res
+		t.fail(err)
+		return
 	}
-	key, cacheable := session.cacheKey()
-	if cacheable {
-		if summary, hit := cfg.cache.get(key); hit {
-			res.Cached = true
-			res.Summary = &summary
-			return res
+	t.session = session
+	t.key, t.cacheable = session.cacheKey()
+	if t.cacheable {
+		if summary, hit := cfg.cache.get(t.key); hit {
+			t.res.Cached = true
+			t.res.Summary = &summary
+			t.done = true
+			t.release()
+			return
 		}
 	}
-	out, err := session.Run(ctx)
+	src, _, err := session.newSource()
 	if err != nil {
-		res.Err = err.Error()
-		return res
+		t.fail(err)
+		return
 	}
-	summary := Summarize(out)
-	if cacheable {
-		cfg.cache.put(key, summary)
+	t.src = src
+	if _, denseOK := core.AsDense(session.alg); denseOK &&
+		session.resolveBackend().DenseEnabled() && core.IsOblivious(src) {
+		t.batchable = true
 	}
-	res.Summary = &summary
-	return res
 }
+
+// fail finalizes the task with an error.
+func (t *sweepTask) fail(err error) {
+	t.res.Err = err.Error()
+	t.done = true
+	t.release()
+}
+
+// finish records the computed summary and feeds the cache.
+func (t *sweepTask) finish(summary RunSummary, cfg *sweepConfig) {
+	if t.cacheable {
+		cfg.cache.put(t.key, summary)
+	}
+	t.res.Summary = &summary
+	t.done = true
+	t.release()
+}
+
+// release drops the task's session and source once its result is final,
+// so a large sweep does not hold every resolved session live until the
+// last unit completes.
+func (t *sweepTask) release() {
+	t.session, t.src = nil, nil
+}
+
+// tileKey groups batchable tasks that may step together: same library
+// (cfg-wide), model, algorithm, agent count, and round budget. The
+// algorithm is keyed by its exact spec string — display names are lossy
+// (a formatted parameter can collide across distinct parameterizations)
+// and every run of a tile steps under the first task's algorithm, so
+// only specs the registry resolves identically may share a tile.
+func (t *sweepTask) tileKey() string {
+	s := t.session
+	return fmt.Sprintf("%s|%s|%d|%d", s.modelSpec, t.res.Spec.Algorithm, s.N(), s.rounds)
+}
+
+// serveLate re-checks the cache at execution time: a concurrent sweep
+// may have computed this run since the prepare phase.
+func (t *sweepTask) serveLate(cfg *sweepConfig) bool {
+	if !t.cacheable {
+		return false
+	}
+	summary, hit := cfg.cache.lateGet(t.key)
+	if !hit {
+		return false
+	}
+	t.res.Cached = true
+	t.res.Summary = &summary
+	t.done = true
+	t.release()
+	return true
+}
+
+// runSingle executes one task through the per-session path (the
+// pre-batch-plane behavior), reusing the already-built source.
+func (t *sweepTask) runSingle(ctx context.Context, cfg *sweepConfig) {
+	if err := ctx.Err(); err != nil {
+		t.fail(err)
+		return
+	}
+	if t.serveLate(cfg) {
+		return
+	}
+	s := t.session
+	tr, err := core.RunBackendCtx(ctx, s.alg, s.inputs, t.src, s.rounds, s.resolveBackend())
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	t.finish(Summarize(&Result{tr: tr}), cfg)
+}
+
+// runSweepTile steps every task of one tile together on the batch
+// plane, computing per-run summaries on the fly — no trace
+// materialization: only the diameter series (needed by GeometricRate
+// and WorstRoundRatio), the running validity flag, and the final
+// outputs are kept per run.
+func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
+	if err := ctx.Err(); err != nil {
+		for _, t := range tile {
+			t.fail(err)
+		}
+		return
+	}
+	live := tile[:0:0]
+	for _, t := range tile {
+		if !t.serveLate(cfg) {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	tile = live
+	s0 := tile[0].session
+	d, _ := core.AsDense(s0.alg)
+	rounds, n := s0.rounds, s0.N()
+	B := len(tile)
+	inputs := make([][]float64, B)
+	for i, t := range tile {
+		inputs[i] = t.session.inputs
+	}
+	br := core.NewBatchRunner(d, inputs)
+
+	diams := make([][]float64, B)
+	valid := make([]bool, B)
+	lo0 := make([]float64, B)
+	hi0 := make([]float64, B)
+	los := make([]float64, B)
+	his := make([]float64, B)
+	out := make([]float64, n)
+	for i := 0; i < B; i++ {
+		diams[i] = make([]float64, 0, rounds+1)
+		lo, hi := br.Hull(i)
+		lo0[i], hi0[i] = lo, hi
+		diams[i] = append(diams[i], hi-lo)
+		valid[i] = true
+	}
+
+	gs := make([]graph.Graph, B)
+	done := ctx.Done()
+	for round := 1; round <= rounds; round++ {
+		if done != nil {
+			select {
+			case <-done:
+				for _, t := range tile {
+					t.fail(ctx.Err())
+				}
+				return
+			default:
+			}
+		}
+		for i, t := range tile {
+			gs[i] = t.src.Next(round, nil)
+		}
+		br.StepEachWithHulls(gs, los, his)
+		for i := 0; i < B; i++ {
+			diams[i] = append(diams[i], his[i]-los[i])
+			// Equivalent to checking every output against the initial
+			// hull, since lo/hi are exact selections from the outputs.
+			if los[i] < lo0[i]-validityTol || his[i] > hi0[i]+validityTol {
+				valid[i] = false
+			}
+		}
+	}
+
+	for i, t := range tile {
+		br.Outputs(i, out)
+		final := append([]float64(nil), out...)
+		t.finish(RunSummary{
+			Algorithm:       t.session.alg.Name(),
+			Rounds:          rounds,
+			InitialDiameter: diams[i][0],
+			FinalDiameter:   diams[i][rounds],
+			GeometricRate:   GeometricRate(diams[i]),
+			WorstRoundRatio: WorstRoundRatio(diams[i]),
+			FinalOutputs:    final,
+			Validity:        valid[i],
+		}, cfg)
+	}
+}
+
+// validityTol is the tolerance Summarize passes to ValidityHolds.
+const validityTol = 1e-9

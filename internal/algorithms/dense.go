@@ -203,6 +203,23 @@ func (Mean) DensePlanes() int { return 0 }
 // InitDense implements core.DenseAlgorithm.
 func (Mean) InitDense(*core.DenseState) {}
 
+// foldMean returns the mean of y over the mask's set bits. The fold
+// starts at 0.0 like the Agent path's Deliver: the leading zero addition
+// matters for -0 inputs. m must be non-empty.
+func foldMean(y []float64, m uint64) float64 {
+	count := bits.OnesCount64(m)
+	sum := 0.0
+	first := bits.TrailingZeros64(m)
+	bit := uint64(1) << uint(first)
+	for _, v := range y[first:] {
+		if m&bit != 0 {
+			sum += v
+		}
+		bit <<= 1
+	}
+	return sum / float64(count)
+}
+
 // StepDense implements core.DenseAlgorithm. The received mean is a pure
 // function of the in-mask, so receivers sharing a mask share the fold.
 func (Mean) StepDense(dst, src *core.DenseState, g graph.Graph) {
@@ -212,19 +229,7 @@ func (Mean) StepDense(dst, src *core.DenseState, g graph.Graph) {
 	for j := 0; j < src.N(); j++ {
 		if m := g.InMask(j); m != lastMask {
 			lastMask = m
-			count := bits.OnesCount64(m)
-			// The fold starts at 0.0 like the Agent path's Deliver: the
-			// leading zero addition matters for -0 inputs.
-			sum := 0.0
-			first := bits.TrailingZeros64(m)
-			bit := uint64(1) << uint(first)
-			for _, v := range y[first:] {
-				if m&bit != 0 {
-					sum += v
-				}
-				bit <<= 1
-			}
-			mean = sum / float64(count)
+			mean = foldMean(y, m)
 		}
 		out[j] = mean
 	}
@@ -490,18 +495,23 @@ func (FloodRoot) StepDense(dst, src *core.DenseState, g graph.Graph) {
 		}
 		if m := g.InMask(j); m != lastMask {
 			lastMask = m
-			heard = false
-			for ; m != 0; m &= m - 1 {
-				if i := bits.TrailingZeros64(m); inf0[i] == 1 {
-					heard, heardValue = true, rv0[i]
-					break
-				}
-			}
+			heard, heardValue = scanInformed(inf0, rv0, m)
 		}
 		if heard {
 			oy[j], oinf[j], orv[j] = heardValue, 1, heardValue
 		}
 	}
+}
+
+// scanInformed reports whether the mask contains an informed sender and
+// the root value carried by the first (lowest-index) one.
+func scanInformed(inf0, rv0 []float64, m uint64) (heard bool, value float64) {
+	for ; m != 0; m &= m - 1 {
+		if i := bits.TrailingZeros64(m); inf0[i] == 1 {
+			return true, rv0[i]
+		}
+	}
+	return false, 0
 }
 
 // OutputsDense implements core.DenseAlgorithm.
@@ -552,6 +562,16 @@ func (f FlowSum) InitDense(st *core.DenseState) {
 	}
 }
 
+// foldFlowSum returns the sum of y_i/deg_i over the mask's set bits.
+func foldFlowSum(y []float64, degs []int, m uint64) float64 {
+	sum := 0.0
+	for ; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		sum += y[i] / float64(degs[i])
+	}
+	return sum
+}
+
 // StepDense implements core.DenseAlgorithm. The per-sender share
 // y_i/deg_i is recomputed per receiver; IEEE division is deterministic,
 // so the result matches the Agent path that computes it once in
@@ -563,11 +583,7 @@ func (f FlowSum) StepDense(dst, src *core.DenseState, g graph.Graph) {
 	for j := 0; j < src.N(); j++ {
 		if m := g.InMask(j); m != lastMask {
 			lastMask = m
-			sum = 0.0
-			for ; m != 0; m &= m - 1 {
-				i := bits.TrailingZeros64(m)
-				sum += y[i] / float64(f.OutDegrees[i])
-			}
+			sum = foldFlowSum(y, f.OutDegrees, m)
 		}
 		out[j] = sum
 	}

@@ -1,0 +1,216 @@
+package algorithms_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// randomBatchGraph draws graphs biased towards the paper's shared-mask
+// families (complete, deaf, identity) half the time, so the batched
+// steppers' segment fold-sharing is exercised, and fully random graphs
+// the other half.
+func randomBatchGraph(rng *rand.Rand, n int) graph.Graph {
+	switch rng.Intn(4) {
+	case 0:
+		return graph.Complete(n)
+	case 1:
+		return graph.Deaf(graph.Complete(n), rng.Intn(n))
+	default:
+		return graph.Random(rng, n, 0.15+0.7*rng.Float64())
+	}
+}
+
+// batchParityCheck steps a BatchRunner and B independent DenseRunners
+// through the same graph sequence and asserts bit-identical outputs and
+// fingerprints run by run, round by round.
+func batchParityCheck(t *testing.T, alg core.Algorithm, n, b, rounds int, rng *rand.Rand, perRunGraphs bool) {
+	t.Helper()
+	d, ok := core.AsDense(alg)
+	if !ok {
+		t.Fatalf("%s does not implement the dense backend", alg.Name())
+	}
+	inputs := make([][]float64, b)
+	for r := range inputs {
+		inputs[r] = make([]float64, n)
+		for i := range inputs[r] {
+			inputs[r][i] = rng.Float64()*2 - 1
+		}
+	}
+	batch := core.NewBatchRunner(d, inputs)
+	singles := make([]*core.DenseRunner, b)
+	for r := range singles {
+		singles[r] = core.NewDenseRunner(d, inputs[r])
+	}
+	out := make([]float64, n)
+	gs := make([]graph.Graph, b)
+	for round := 1; round <= rounds; round++ {
+		if perRunGraphs {
+			for r := range gs {
+				gs[r] = randomBatchGraph(rng, n)
+			}
+			batch.StepEach(gs)
+		} else {
+			g := randomBatchGraph(rng, n)
+			for r := range gs {
+				gs[r] = g
+			}
+			batch.Step(g)
+		}
+		for r := 0; r < b; r++ {
+			singles[r].Step(gs[r])
+			batch.Outputs(r, out)
+			for i := 0; i < n; i++ {
+				want, got := singles[r].Output(i), out[i]
+				if math.Float64bits(want) != math.Float64bits(got) {
+					t.Fatalf("round %d run %d agent %d: batch output %v != single output %v",
+						round, r, i, got, want)
+				}
+			}
+			wantFP, okW := core.AppendDenseFingerprint(d, singles[r].State(), nil)
+			gotFP, okG := batch.AppendRunFingerprint(nil, r)
+			if okW != okG {
+				t.Fatalf("round %d run %d: fingerprint support differs: single %v, batch %v", round, r, okW, okG)
+			}
+			if okW && !bytes.Equal(wantFP, gotFP) {
+				t.Fatalf("round %d run %d: batch fingerprint differs from single\nsingle: %x\nbatch:  %x",
+					round, r, wantFP, gotFP)
+			}
+			if hw, hg := singlesDiameter(singles[r]), batch.Diameter(r); math.Float64bits(hw) != math.Float64bits(hg) {
+				t.Fatalf("round %d run %d: batch diameter %v != single diameter %v", round, r, hg, hw)
+			}
+		}
+	}
+}
+
+func singlesDiameter(r *core.DenseRunner) float64 { return r.Diameter() }
+
+// TestBatchMatchesSinglesRandomized is the batch plane's differential
+// gate: for every dense algorithm (batched stepper or generic per-view
+// path), a BatchRunner must be bit-identical to B independent
+// DenseRunners — outputs, diameters, and full hidden state via the
+// fingerprint encodings — under both shared and per-run graph sequences.
+func TestBatchMatchesSinglesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, tc := range denseCases(rng) {
+		for _, perRun := range []bool{false, true} {
+			name := tc.alg.Name() + "/shared"
+			if perRun {
+				name = tc.alg.Name() + "/per-run"
+			}
+			t.Run(name, func(t *testing.T) {
+				for trial := 0; trial < 8; trial++ {
+					b := 1 + rng.Intn(7)
+					rounds := 1 + rng.Intn(16)
+					batchParityCheck(t, tc.alg, tc.n, b, rounds, rng, perRun)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchCompact drops random runs mid-execution and checks the
+// survivors keep stepping bit-identically to their reference runners,
+// with Origin tracking the original indices.
+func TestBatchCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alg := algorithms.AmortizedMidpoint{}
+	d, _ := core.AsDense(alg)
+	const n, b = 5, 8
+	inputs := make([][]float64, b)
+	singles := make([]*core.DenseRunner, b)
+	for r := range inputs {
+		inputs[r] = make([]float64, n)
+		for i := range inputs[r] {
+			inputs[r][i] = rng.Float64()
+		}
+		singles[r] = core.NewDenseRunner(d, inputs[r])
+	}
+	batch := core.NewBatchRunner(d, inputs)
+	out := make([]float64, n)
+	for round := 1; round <= 20; round++ {
+		g := randomBatchGraph(rng, n)
+		batch.Step(g)
+		for _, s := range singles {
+			s.Step(g)
+		}
+		if batch.B() > 1 && rng.Intn(3) == 0 {
+			keep := make([]bool, batch.B())
+			kept := 0
+			for i := range keep {
+				keep[i] = rng.Intn(4) != 0
+				if keep[i] {
+					kept++
+				}
+			}
+			if kept == 0 {
+				keep[rng.Intn(len(keep))] = true
+			}
+			batch.Compact(keep)
+		}
+		for i := 0; i < batch.B(); i++ {
+			ref := singles[batch.Origin(i)]
+			batch.Outputs(i, out)
+			for j := 0; j < n; j++ {
+				if math.Float64bits(ref.Output(j)) != math.Float64bits(out[j]) {
+					t.Fatalf("round %d: compacted run %d (origin %d) diverged", round, i, batch.Origin(i))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchReplicatedAndFork checks NewBatchRunnerReplicated spreads one
+// mid-run state into identical runs (round preserved) and Fork yields an
+// independent copy.
+func TestBatchReplicatedAndFork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alg := algorithms.Midpoint{}
+	d, _ := core.AsDense(alg)
+	const n = 6
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	single := core.NewDenseRunner(d, in)
+	for i := 0; i < 5; i++ {
+		single.Step(randomBatchGraph(rng, n))
+	}
+	batch := core.NewBatchRunnerReplicated(d, single.State(), 4)
+	if batch.Round() != single.Round() {
+		t.Fatalf("replicated batch lost the round: %d != %d", batch.Round(), single.Round())
+	}
+	fork := batch.Fork()
+	g := graph.Deaf(graph.Complete(n), 1)
+	batch.Step(g)
+	single.Step(g)
+	out := make([]float64, n)
+	for r := 0; r < batch.B(); r++ {
+		batch.Outputs(r, out)
+		for j := 0; j < n; j++ {
+			if math.Float64bits(single.Output(j)) != math.Float64bits(out[j]) {
+				t.Fatalf("replicated run %d agent %d diverged", r, j)
+			}
+		}
+	}
+	// The fork must still hold the pre-step state.
+	if fork.Round() != batch.Round()-1 {
+		t.Fatalf("fork advanced with its parent: round %d vs %d", fork.Round(), batch.Round())
+	}
+}
+
+// TestBatchStepperResolution pins which algorithms advertise the batched
+// stepper capability through core.AsBatchStepper.
+func TestBatchStepperResolution(t *testing.T) {
+	if _, ok := core.AsBatchStepper(algorithms.Midpoint{}); !ok {
+		t.Fatal("Midpoint lost its batched stepper")
+	}
+	if _, ok := core.AsBatchStepper(algorithms.SelfWeighted{Alpha: 0.5}); ok {
+		t.Fatal("SelfWeighted unexpectedly claims a batched stepper")
+	}
+}

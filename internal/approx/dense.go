@@ -14,13 +14,18 @@ import (
 // runs on the same state and never touches the extra plane.
 
 // Dense implements core.DenseProvider: the deciding wrapper is dense-
-// capable exactly when its inner algorithm is.
+// capable exactly when its inner algorithm is. When the inner algorithm
+// also steps batches (core.BatchStepper), so does the wrapper.
 func (d DecidingAlgorithm) Dense() (core.DenseAlgorithm, bool) {
 	inner, ok := core.AsDense(d.Inner)
 	if !ok {
 		return nil, false
 	}
-	return denseDeciding{DecidingAlgorithm: d, inner: inner}, true
+	dd := denseDeciding{DecidingAlgorithm: d, inner: inner}
+	if bs, ok := inner.(core.BatchStepper); ok {
+		return denseDecidingBatch{denseDeciding: dd, innerBatch: bs}, true
+	}
+	return dd, true
 }
 
 // denseDeciding is the dense view of a DecidingAlgorithm.
@@ -66,6 +71,44 @@ func (d denseDeciding) StepDense(dst, src *core.DenseState, g graph.Graph) {
 	for i, v := range srcDec {
 		if !math.IsNaN(v) {
 			dec[i] = v
+		}
+	}
+}
+
+// denseDecidingBatch extends the dense view with batch stepping for
+// batch-capable inner algorithms: the inner planes keep their indices in
+// the batch layout (the decision plane is appended last per run), so the
+// inner batched stepper runs unchanged and the wrapper replays the
+// decision-plane logic of StepDense per run.
+type denseDecidingBatch struct {
+	denseDeciding
+	innerBatch core.BatchStepper
+}
+
+// StepDenseBatch implements core.BatchStepper.
+func (d denseDecidingBatch) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	// The wrapper's observable outputs override the inner values with
+	// taken decisions, so the inner stepper's hull would be discarded
+	// anyway — suppress it and leave the runner to scan.
+	wantHull := plan.WantHull
+	plan.WantHull = false
+	d.innerBatch.StepDenseBatch(dst, src, plan)
+	plan.WantHull, plan.HullDone = wantHull, false
+	last := dst.Planes() - 1
+	var view core.DenseState
+	for r := 0; r < dst.B(); r++ {
+		srcDec, dec := src.RunPlane(r, last), dst.RunPlane(r, last)
+		if dst.Round() != d.DecisionRound {
+			copy(dec, srcDec)
+			continue
+		}
+		dst.View(r, &view)
+		d.inner.OutputsDense(&view, dec)
+		// Write-once: an already-set decision is never overwritten.
+		for i, v := range srcDec {
+			if !math.IsNaN(v) {
+				dec[i] = v
+			}
 		}
 	}
 }

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file implements the batched execution plane: one flat
+// struct-of-arrays state holding B runs × n agents, stepped together.
+// Multi-run workloads — sweeps, the d-dimensional vector lift, decision
+// sweeps, valency settle fan-outs — are families of runs over one
+// algorithm, and stepping them as a batch amortizes everything that is
+// per-round but run-independent: the graph's in-mask scan, the
+// mask-segment plan, buffer traffic, and the double-buffer swap. Each
+// run's view into the batch is a plain DenseState aliasing the batch
+// planes, so the per-algorithm steppers (and their bit-identity contract
+// with the Agent oracle) are reused unchanged; batched steppers
+// (BatchStepper) additionally share the receiver segmentation across
+// runs without changing any per-run float operation.
+
+// BatchState is the flat state of B same-shaped runs of one dense
+// algorithm: run-major struct-of-arrays planes. Run r's value vector
+// occupies Y[r*n:(r+1)*n] and its aux planes occupy
+// Aux[r*planes*n:(r+1)*planes*n] (plane-major within the run), so every
+// per-run view is a contiguous slice of the batch plane and stepping a
+// view is bit-identical to stepping an independent DenseState.
+//
+// All runs of a batch share one round counter: batches step together.
+type BatchState struct {
+	b      int
+	n      int
+	planes int
+	round  int
+	// Y holds the B value vectors, run-major.
+	Y []float64
+	// Aux holds the B aux-plane blocks, run-major.
+	Aux []float64
+}
+
+// B returns the number of runs in the batch.
+func (st *BatchState) B() int { return st.b }
+
+// N returns the number of agents per run.
+func (st *BatchState) N() int { return st.n }
+
+// Planes returns the number of auxiliary planes per run.
+func (st *BatchState) Planes() int { return st.planes }
+
+// Round returns the shared number of completed rounds.
+func (st *BatchState) Round() int { return st.round }
+
+// Resize shapes the batch for b runs of n agents with the given aux
+// plane count, reusing the backing arrays when possible. Contents are
+// unspecified afterwards.
+func (st *BatchState) Resize(b, n, planes int) {
+	if b < 0 {
+		panic(fmt.Sprintf("core: negative batch size %d", b))
+	}
+	if n < 1 || n > graph.MaxNodes {
+		panic(fmt.Sprintf("core: invalid agent count %d", n))
+	}
+	if planes < 0 {
+		panic(fmt.Sprintf("core: negative aux plane count %d", planes))
+	}
+	st.b, st.n, st.planes = b, n, planes
+	if cap(st.Y) < b*n {
+		st.Y = make([]float64, b*n)
+	}
+	st.Y = st.Y[:b*n]
+	if cap(st.Aux) < b*planes*n {
+		st.Aux = make([]float64, b*planes*n)
+	}
+	st.Aux = st.Aux[:b*planes*n]
+}
+
+// RunY returns run r's value vector (one float64 per agent).
+func (st *BatchState) RunY(r int) []float64 {
+	lo, hi := r*st.n, (r+1)*st.n
+	return st.Y[lo:hi:hi]
+}
+
+// RunPlane returns aux plane k of run r.
+func (st *BatchState) RunPlane(r, k int) []float64 {
+	if k < 0 || k >= st.planes {
+		panic(fmt.Sprintf("core: aux plane %d out of range [0,%d)", k, st.planes))
+	}
+	lo := (r*st.planes + k) * st.n
+	hi := lo + st.n
+	return st.Aux[lo:hi:hi]
+}
+
+// View aliases run r as a DenseState: the view shares the batch's
+// backing arrays, so reads and writes through it are reads and writes of
+// the batch. Views are capacity-clamped; resizing one never grows into a
+// neighboring run.
+func (st *BatchState) View(r int, view *DenseState) {
+	if r < 0 || r >= st.b {
+		panic(fmt.Sprintf("core: batch run %d out of range [0,%d)", r, st.b))
+	}
+	view.n, view.planes, view.round = st.n, st.planes, st.round
+	view.Y = st.RunY(r)
+	lo, hi := r*st.planes*st.n, (r+1)*st.planes*st.n
+	view.Aux = st.Aux[lo:hi:hi]
+}
+
+// CopyFrom overwrites st with an independent copy of src.
+func (st *BatchState) CopyFrom(src *BatchState) {
+	st.Resize(src.b, src.n, src.planes)
+	st.round = src.round
+	copy(st.Y, src.Y)
+	copy(st.Aux, src.Aux)
+}
+
+// copyRun overwrites run dst with run src of the same batch (in-place
+// compaction move).
+func (st *BatchState) copyRun(dst, src int) {
+	if dst == src {
+		return
+	}
+	copy(st.RunY(dst), st.RunY(src))
+	n := st.planes * st.n
+	copy(st.Aux[dst*n:(dst+1)*n], st.Aux[src*n:(src+1)*n])
+}
+
+// MaskSeg is one receiver segment of a StepPlan: the maximal range of
+// consecutive receivers [Start, End) sharing the in-neighbor mask Mask.
+// Fold is the index of the first segment of the plan carrying the same
+// mask: min/max/sum folds are pure functions of the received multiset,
+// so a stepper may compute the fold once at segment Fold and reuse it
+// here — sharing across non-adjacent equal masks, which the per-run
+// last-mask memo cannot see.
+type MaskSeg struct {
+	Start, End int
+	Mask       uint64
+	Fold       int
+}
+
+// StepPlan is the per-round, run-independent precomputation of a batch
+// step under one shared graph: the receiver segmentation by in-mask.
+// F0 and F1 are per-segment fold scratch (one slot per segment) for
+// BatchStepper implementations; the plan owns them so batched steppers
+// stay allocation-free.
+//
+// WantHull asks the stepper to also report each run's post-step output
+// hull into HullLo/HullHi (one slot per run) and acknowledge by setting
+// HullDone. Steppers whose outputs are constant per segment fold the
+// hull over the segment values — bit-identical to scanning the output
+// vector, since min/max are exact selections over the same multiset —
+// for a fraction of the scan cost. Steppers that cannot (or choose not
+// to) leave HullDone false and the runner scans.
+type StepPlan struct {
+	G    graph.Graph
+	Segs []MaskSeg
+	F0   []float64
+	F1   []float64
+
+	WantHull bool
+	HullDone bool
+	HullLo   []float64
+	HullHi   []float64
+}
+
+// build computes the segmentation of g.
+func (p *StepPlan) build(g graph.Graph) {
+	p.G = g
+	p.Segs = p.Segs[:0]
+	n := g.N()
+	for j := 0; j < n; {
+		m := g.InMask(j)
+		end := j + 1
+		for end < n && g.InMask(end) == m {
+			end++
+		}
+		fold := len(p.Segs)
+		for i, s := range p.Segs {
+			if s.Mask == m {
+				fold = i
+				break
+			}
+		}
+		p.Segs = append(p.Segs, MaskSeg{Start: j, End: end, Mask: m, Fold: fold})
+		j = end
+	}
+	if cap(p.F0) < len(p.Segs) {
+		p.F0 = make([]float64, len(p.Segs))
+		p.F1 = make([]float64, len(p.Segs))
+	}
+	p.F0 = p.F0[:len(p.Segs)]
+	p.F1 = p.F1[:len(p.Segs)]
+}
+
+// BatchStepper is an optional DenseAlgorithm capability: step every run
+// of a batch under one shared graph in a single call, using the plan's
+// receiver segmentation. Implementations must be bit-identical to
+// stepping each run's view with StepDense — same float operations in the
+// same order within each run; only run-independent bookkeeping (mask
+// scans, segment discovery) may be shared.
+type BatchStepper interface {
+	StepDenseBatch(dst, src *BatchState, plan *StepPlan)
+}
+
+// AsBatchStepper returns the batch-stepping view of alg, unwrapping
+// DenseProvider indirections.
+func AsBatchStepper(alg Algorithm) (BatchStepper, bool) {
+	if bs, ok := alg.(BatchStepper); ok {
+		return bs, true
+	}
+	if p, ok := alg.(DenseProvider); ok {
+		if d, dok := p.Dense(); dok {
+			bs, bok := d.(BatchStepper)
+			return bs, bok
+		}
+	}
+	return nil, false
+}
+
+// BatchRunner executes B runs of one dense algorithm in lock-step with
+// double-buffered batch state: Step computes every run's successor into
+// the back buffer and swaps, allocating nothing after construction.
+// Decided runs can be dropped in place (Compact), and the whole batch
+// forked by copy (Fork) — the batch counterparts of DenseRunner's
+// step/fork surface.
+type BatchRunner struct {
+	alg       DenseAlgorithm
+	bs        BatchStepper
+	cur, next *BatchState
+	plan      StepPlan
+	// viewsCur/viewsNext are persistent per-run views into cur/next,
+	// swapped alongside the buffers, so the per-run paths pay two round
+	// refreshes per step instead of rebuilding slice headers per use.
+	// They stay valid across steps and compaction because the backing
+	// arrays are stable and compaction moves data in place.
+	viewsCur   []DenseState
+	viewsNext  []DenseState
+	origin     []int
+	outScratch []float64
+}
+
+// NewBatchRunner builds a runner from per-run raw inputs (inputs[r] is
+// run r's initial value vector; all runs must share the agent count).
+func NewBatchRunner(alg DenseAlgorithm, inputs [][]float64) *BatchRunner {
+	if len(inputs) == 0 {
+		panic("core: empty batch")
+	}
+	r := &BatchRunner{}
+	r.ResetInputs(alg, inputs)
+	return r
+}
+
+// NewBatchRunnerReplicated builds a runner whose b runs all start as
+// independent copies of the already-initialized dense state st —
+// the batch counterpart of forking one runner b times.
+func NewBatchRunnerReplicated(alg DenseAlgorithm, st *DenseState, b int) *BatchRunner {
+	r := &BatchRunner{}
+	r.ResetReplicated(alg, st, b)
+	return r
+}
+
+// ResetInputs re-initializes the runner (reusing its buffers) for fresh
+// runs from raw inputs, mirroring NewDenseRunner per run: Y is loaded
+// and InitDense finalizes each run's view at round 0.
+func (r *BatchRunner) ResetInputs(alg DenseAlgorithm, inputs [][]float64) {
+	n := len(inputs[0])
+	r.reset(alg, len(inputs), n)
+	r.cur.round = 0
+	for i, in := range inputs {
+		if len(in) != n {
+			panic(fmt.Sprintf("core: batch run %d has %d agents, want %d", i, len(in), n))
+		}
+		copy(r.cur.RunY(i), in)
+		alg.InitDense(r.runView(i))
+	}
+}
+
+// ResetReplicated re-initializes the runner (reusing its buffers) with b
+// copies of st, preserving st's round.
+func (r *BatchRunner) ResetReplicated(alg DenseAlgorithm, st *DenseState, b int) {
+	if st.planes != alg.DensePlanes() {
+		panic(fmt.Sprintf("core: state with %d planes for algorithm with %d", st.planes, alg.DensePlanes()))
+	}
+	r.reset(alg, b, st.n)
+	r.cur.round = st.round
+	for i := 0; i < b; i++ {
+		copy(r.cur.RunY(i), st.Y)
+		lo := i * st.planes * st.n
+		copy(r.cur.Aux[lo:lo+st.planes*st.n], st.Aux)
+	}
+}
+
+// reset shapes the buffers, rebuilds the persistent views, and resets
+// the origin map.
+func (r *BatchRunner) reset(alg DenseAlgorithm, b, n int) {
+	r.alg = alg
+	r.bs, _ = AsBatchStepper(alg)
+	if r.cur == nil {
+		r.cur, r.next = &BatchState{}, &BatchState{}
+	}
+	r.cur.Resize(b, n, alg.DensePlanes())
+	r.next.Resize(b, n, alg.DensePlanes())
+	r.origin = r.origin[:0]
+	for i := 0; i < b; i++ {
+		r.origin = append(r.origin, i)
+	}
+	if cap(r.outScratch) < n {
+		r.outScratch = make([]float64, n)
+	}
+	r.outScratch = r.outScratch[:n]
+	r.buildViews()
+}
+
+// buildViews (re)derives the persistent per-run views from the current
+// buffers.
+func (r *BatchRunner) buildViews() {
+	b := r.cur.b
+	if cap(r.viewsCur) < b {
+		r.viewsCur = make([]DenseState, b)
+		r.viewsNext = make([]DenseState, b)
+	}
+	r.viewsCur = r.viewsCur[:b]
+	r.viewsNext = r.viewsNext[:b]
+	for i := 0; i < b; i++ {
+		r.cur.View(i, &r.viewsCur[i])
+		r.next.View(i, &r.viewsNext[i])
+	}
+}
+
+// runView returns run i's current view with a fresh round stamp.
+func (r *BatchRunner) runView(i int) *DenseState {
+	v := &r.viewsCur[i]
+	v.round = r.cur.round
+	return v
+}
+
+// Alg returns the algorithm being run.
+func (r *BatchRunner) Alg() DenseAlgorithm { return r.alg }
+
+// B returns the current number of (surviving) runs.
+func (r *BatchRunner) B() int { return r.cur.b }
+
+// N returns the number of agents per run.
+func (r *BatchRunner) N() int { return r.cur.n }
+
+// Round returns the shared number of completed rounds.
+func (r *BatchRunner) Round() int { return r.cur.round }
+
+// State returns the current batch state. Callers must not mutate it.
+func (r *BatchRunner) State() *BatchState { return r.cur }
+
+// Origin returns the original batch index of current run i — the
+// identity Compact preserves while dropping decided runs.
+func (r *BatchRunner) Origin(i int) int { return r.origin[i] }
+
+// prep shapes the back buffer for one step.
+func (r *BatchRunner) prep(n int) {
+	if n != r.cur.n {
+		panic(fmt.Sprintf("core: graph on %d nodes applied to batch of %d agents", n, r.cur.n))
+	}
+	r.next.Resize(r.cur.b, r.cur.n, r.cur.planes)
+	r.next.round = r.cur.round + 1
+}
+
+// Step applies one round with the shared communication graph g to every
+// run: through the algorithm's BatchStepper when it has one (receiver
+// segmentation shared across runs), per-run views otherwise.
+func (r *BatchRunner) Step(g graph.Graph) {
+	r.plan.WantHull = false
+	r.step(g)
+}
+
+// StepWithHulls applies one shared-graph round and reports every run's
+// post-round output hull into lo/hi (length B): computed inside the
+// batched stepper for free from the segment folds when possible, by
+// scanning the outputs otherwise. The hulls are bit-identical to
+// calling Hull(i) per run either way.
+func (r *BatchRunner) StepWithHulls(g graph.Graph, lo, hi []float64) {
+	r.plan.WantHull = true
+	r.plan.HullLo, r.plan.HullHi = lo, hi
+	r.step(g)
+	if !r.plan.HullDone {
+		r.scanHulls(lo, hi)
+	}
+	r.plan.WantHull, r.plan.HullLo, r.plan.HullHi = false, nil, nil
+}
+
+func (r *BatchRunner) step(g graph.Graph) {
+	r.prep(g.N())
+	r.plan.HullDone = false
+	if r.bs != nil {
+		r.plan.build(g)
+		r.bs.StepDenseBatch(r.next, r.cur, &r.plan)
+	} else {
+		for i := 0; i < r.cur.b; i++ {
+			r.stepRun(i, g)
+		}
+	}
+	r.swap()
+}
+
+// swap flips the double buffer and its view arrays.
+func (r *BatchRunner) swap() {
+	r.cur, r.next = r.next, r.cur
+	r.viewsCur, r.viewsNext = r.viewsNext, r.viewsCur
+}
+
+// scanHulls fills lo/hi with every run's output hull by scanning.
+func (r *BatchRunner) scanHulls(lo, hi []float64) {
+	for i := 0; i < r.cur.b; i++ {
+		lo[i], hi[i] = r.Hull(i)
+	}
+}
+
+// StepEach applies one round with per-run graphs (gs[i] drives run i).
+// When every run plays the same graph the shared-graph fast path is
+// taken, segmentation and all.
+func (r *BatchRunner) StepEach(gs []graph.Graph) {
+	r.plan.WantHull = false
+	r.stepEach(gs)
+}
+
+// StepEachWithHulls is StepEach plus per-run output hulls, like
+// StepWithHulls.
+func (r *BatchRunner) StepEachWithHulls(gs []graph.Graph, lo, hi []float64) {
+	r.plan.WantHull = true
+	r.plan.HullLo, r.plan.HullHi = lo, hi
+	_, hullDone := r.stepEach(gs)
+	if !hullDone {
+		r.scanHulls(lo, hi)
+	}
+	r.plan.WantHull, r.plan.HullLo, r.plan.HullHi = false, nil, nil
+}
+
+func (r *BatchRunner) stepEach(gs []graph.Graph) (shared, hullDone bool) {
+	if len(gs) != r.cur.b {
+		panic(fmt.Sprintf("core: %d graphs for a batch of %d runs", len(gs), r.cur.b))
+	}
+	shared = true
+	for i := 1; i < len(gs); i++ {
+		if !gs[i].Equal(gs[0]) {
+			shared = false
+			break
+		}
+	}
+	if shared {
+		r.step(gs[0])
+		return true, r.plan.HullDone
+	}
+	r.StepRuns(gs)
+	return false, false
+}
+
+// StepRuns applies one round with per-run graphs, without the
+// shared-graph detection of StepEach — for callers that know the graphs
+// differ (a settle fan-out repeating a different model graph per run).
+func (r *BatchRunner) StepRuns(gs []graph.Graph) {
+	if len(gs) != r.cur.b {
+		panic(fmt.Sprintf("core: %d graphs for a batch of %d runs", len(gs), r.cur.b))
+	}
+	r.prep(gs[0].N())
+	r.plan.HullDone = false
+	for i := 0; i < r.cur.b; i++ {
+		if gs[i].N() != r.cur.n {
+			panic(fmt.Sprintf("core: graph on %d nodes applied to batch of %d agents", gs[i].N(), r.cur.n))
+		}
+		r.stepRun(i, gs[i])
+	}
+	r.swap()
+}
+
+// stepRun steps run i through its persistent views (the generic path).
+func (r *BatchRunner) stepRun(i int, g graph.Graph) {
+	src, dst := &r.viewsCur[i], &r.viewsNext[i]
+	src.round = r.cur.round
+	dst.round = r.next.round
+	r.alg.StepDense(dst, src, g)
+}
+
+// Outputs writes run i's observable outputs into out (length N).
+func (r *BatchRunner) Outputs(i int, out []float64) {
+	r.alg.OutputsDense(r.runView(i), out)
+}
+
+// Hull returns the convex hull [lo, hi] of run i's observable outputs
+// without allocating.
+func (r *BatchRunner) Hull(i int) (lo, hi float64) {
+	r.Outputs(i, r.outScratch)
+	return Hull(r.outScratch)
+}
+
+// Diameter returns the output diameter of run i without allocating.
+func (r *BatchRunner) Diameter(i int) float64 {
+	lo, hi := r.Hull(i)
+	return hi - lo
+}
+
+// AppendRunFingerprint appends run i's configuration fingerprint,
+// byte-identical to the equivalent DenseRunner's (and therefore to the
+// Agent path's) fingerprint. ok is false when the algorithm cannot
+// fingerprint dense states.
+func (r *BatchRunner) AppendRunFingerprint(dst []byte, i int) ([]byte, bool) {
+	return AppendDenseFingerprint(r.alg, r.runView(i), dst)
+}
+
+// MaterializeRun builds an agent configuration equivalent to run i.
+func (r *BatchRunner) MaterializeRun(i int) *Config {
+	return MaterializeDense(r.alg, r.runView(i))
+}
+
+// Compact drops every run whose keep entry is false, moving survivors
+// forward in place (two copies per surviving displaced run, no per-agent
+// work) and preserving their relative order and Origin identities. It
+// returns the new batch size.
+func (r *BatchRunner) Compact(keep []bool) int {
+	if len(keep) != r.cur.b {
+		panic(fmt.Sprintf("core: %d keep flags for a batch of %d runs", len(keep), r.cur.b))
+	}
+	w := 0
+	for i := 0; i < r.cur.b; i++ {
+		if !keep[i] {
+			continue
+		}
+		r.cur.copyRun(w, i)
+		r.origin[w] = r.origin[i]
+		w++
+	}
+	r.origin = r.origin[:w]
+	r.cur.b = w
+	r.cur.Y = r.cur.Y[:w*r.cur.n]
+	r.cur.Aux = r.cur.Aux[:w*r.cur.planes*r.cur.n]
+	// The views alias positions, and survivors moved into the kept
+	// positions in place, so truncation suffices.
+	r.viewsCur = r.viewsCur[:w]
+	r.viewsNext = r.viewsNext[:w]
+	return w
+}
+
+// Fork returns an independent copy of the runner, the batch counterpart
+// of DenseRunner.Fork.
+func (r *BatchRunner) Fork() *BatchRunner {
+	f := &BatchRunner{alg: r.alg, bs: r.bs, cur: &BatchState{}, next: &BatchState{}}
+	f.cur.CopyFrom(r.cur)
+	f.next.Resize(r.cur.b, r.cur.n, r.cur.planes)
+	f.origin = append([]int(nil), r.origin...)
+	f.outScratch = make([]float64, r.cur.n)
+	f.buildViews()
+	return f
+}

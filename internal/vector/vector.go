@@ -102,16 +102,19 @@ func InBox(p, lo, hi Point, tol float64) bool {
 // d-dimensional inputs under a single shared communication pattern.
 //
 // The execution backend follows core.CurrentBackend() at construction:
-// with the dense backend enabled and a dense-capable algorithm, every
-// coordinate runs on flat struct-of-arrays state (one core.DenseRunner
-// per coordinate) instead of agent configurations; the two backends are
+// with the dense backend enabled and a dense-capable algorithm, the d
+// coordinates run as one core.BatchRunner — a single flat
+// struct-of-arrays batch of d runs stepped together under the shared
+// graph, so the per-round receiver segmentation is computed once for
+// all coordinates instead of once per coordinate. The two backends are
 // bit-identical.
 type Runner struct {
 	alg     core.Algorithm
 	dim     int
 	n       int
-	configs []*core.Config      // one per coordinate (agents backend)
-	dense   []*core.DenseRunner // one per coordinate (dense backend)
+	configs []*core.Config    // one per coordinate (agents backend)
+	batch   *core.BatchRunner // all coordinates as one batch (dense backend)
+	scratch []float64
 }
 
 // NewRunner builds the per-coordinate configurations from the initial
@@ -137,16 +140,24 @@ func NewRunnerBackend(alg core.Algorithm, inputs []Point, backend core.Backend) 
 	r := &Runner{alg: alg, dim: dim, n: len(inputs)}
 	d, denseOK := core.AsDense(alg)
 	useDense := backend.DenseEnabled() && denseOK
+	if useDense {
+		coords := make([][]float64, dim)
+		for c := 0; c < dim; c++ {
+			coords[c] = make([]float64, len(inputs))
+			for i, p := range inputs {
+				coords[c][i] = p[c]
+			}
+		}
+		r.batch = core.NewBatchRunner(d, coords)
+		r.scratch = make([]float64, len(inputs))
+		return r, nil
+	}
 	coords := make([]float64, len(inputs))
 	for c := 0; c < dim; c++ {
 		for i, p := range inputs {
 			coords[i] = p[c]
 		}
-		if useDense {
-			r.dense = append(r.dense, core.NewDenseRunner(d, coords))
-		} else {
-			r.configs = append(r.configs, core.NewConfig(alg, coords))
-		}
+		r.configs = append(r.configs, core.NewConfig(alg, coords))
 	}
 	return r, nil
 }
@@ -159,18 +170,16 @@ func (r *Runner) N() int { return r.n }
 
 // Round returns the number of completed rounds.
 func (r *Runner) Round() int {
-	if r.dense != nil {
-		return r.dense[0].Round()
+	if r.batch != nil {
+		return r.batch.Round()
 	}
 	return r.configs[0].Round()
 }
 
 // Step applies one round with communication graph g to every coordinate.
 func (r *Runner) Step(g graph.Graph) {
-	if r.dense != nil {
-		for _, dr := range r.dense {
-			dr.Step(g)
-		}
+	if r.batch != nil {
+		r.batch.Step(g)
 		return
 	}
 	for c := range r.configs {
@@ -187,12 +196,12 @@ func (r *Runner) Run(src core.PatternSource, rounds int) {
 	for t := 0; t < rounds; t++ {
 		var g graph.Graph
 		switch {
-		case r.dense == nil:
+		case r.batch == nil:
 			g = src.Next(r.Round()+1, r.configs[0])
 		case core.IsOblivious(src):
 			g = src.Next(r.Round()+1, nil)
 		default:
-			g = src.Next(r.Round()+1, r.dense[0].Config())
+			g = src.Next(r.Round()+1, r.batch.MaterializeRun(0))
 		}
 		r.Step(g)
 	}
@@ -205,12 +214,11 @@ func (r *Runner) Positions() []Point {
 	for i := 0; i < n; i++ {
 		out[i] = make(Point, r.dim)
 	}
-	if r.dense != nil {
-		coords := make([]float64, n)
-		for c, dr := range r.dense {
-			dr.Alg().OutputsDense(dr.State(), coords)
+	if r.batch != nil {
+		for c := 0; c < r.dim; c++ {
+			r.batch.Outputs(c, r.scratch)
 			for i := 0; i < n; i++ {
-				out[i][c] = coords[i]
+				out[i][c] = r.scratch[i]
 			}
 		}
 		return out
