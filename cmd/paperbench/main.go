@@ -15,10 +15,14 @@
 //	paperbench -backend agents  force the interface-based reference backend
 //	                            (default "auto" uses the dense kernel where
 //	                            supported; tables are bit-identical)
-//	paperbench -bench           run the machine-readable throughput bench
-//	                            (batch-plane sweep vs goroutine-per-run)
+//	paperbench -bench           run the machine-readable throughput bench:
+//	                            the batch-plane sweep vs goroutine-per-run,
+//	                            on the oblivious deaf-model workload and on
+//	                            a 64-scenario grid (per-run schedules in
+//	                            one batch)
 //	paperbench -bench -json F   additionally write the results as JSON to F
-//	                            (CI uploads BENCH_PR4.json as an artifact)
+//	                            (committed as BENCH_PR5.json and uploaded
+//	                            as a CI artifact)
 package main
 
 import (
@@ -104,10 +108,11 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// benchReport is the machine-readable benchmark artifact (BENCH_PR4.json
-// in CI): the batch-plane sweep against PR 3's goroutine-per-run sweep,
-// medians over the sampled repetitions, so the perf trajectory is
-// tracked commit over commit.
+// benchReport is the machine-readable benchmark artifact (committed as
+// BENCH_PR5.json and uploaded by CI): the batch-plane sweep against
+// PR 3's goroutine-per-run sweep, on the shared-model workload and on a
+// scenario grid with per-run schedules, medians over the sampled
+// repetitions, so the perf trajectory is tracked commit over commit.
 type benchReport struct {
 	Schema      string       `json:"schema"`
 	GeneratedAt string       `json:"generated_at"`
@@ -123,6 +128,9 @@ type benchReport struct {
 	// SweepSpeedup is sweep/single median over sweep/batch median — the
 	// batch plane's throughput multiplier at equal worker count.
 	SweepSpeedup float64 `json:"sweep_speedup_batch_vs_single"`
+	// ScenarioSpeedup is the same ratio for the scenario grid, where
+	// every run follows its own schedule (per-run graphs in one batch).
+	ScenarioSpeedup float64 `json:"scenario_speedup_batch_vs_single"`
 }
 
 // benchEntry is one measured configuration.
@@ -132,23 +140,36 @@ type benchEntry struct {
 	RunsPerSec float64 `json:"runs_per_sec"`
 }
 
-// runBench measures the acceptance sweep (benchSpecs specs, n = 16,
+// runBench measures two acceptance sweeps through both sweep paths and
+// reports medians: the shared-model workload (benchSpecs specs, n = 16,
 // benchRounds rounds over deaf(K16) midpoint, inputs varied per spec)
-// through both sweep paths and reports medians.
+// and the scenario grid (benchSpecs churn schedules, one per seed, so
+// every batched run follows its own per-round graph sequence).
 func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, backend string) error {
 	if samples < 1 || specCount < 1 || rounds < 0 {
 		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d", samples, specCount, rounds)
 	}
-	specs := make([]consensus.RunSpec, specCount)
-	for i := range specs {
+	modelSpecs := make([]consensus.RunSpec, specCount)
+	for i := range modelSpecs {
 		inputs := consensus.SpreadInputs(16)
 		inputs[2] = float64(i) / float64(specCount)
-		specs[i] = consensus.RunSpec{
+		modelSpecs[i] = consensus.RunSpec{
 			Model: "deaf:16", Algorithm: "midpoint", Adversary: "cycle",
 			Rounds: rounds, Inputs: inputs,
 		}
 	}
-	measure := func(opts ...consensus.SweepOption) (int64, error) {
+	scenarioSpecs := make([]consensus.RunSpec, specCount)
+	epochs := max((rounds+9)/10, 1)
+	for i := range scenarioSpecs {
+		// Distinct seeds: every run plays its own churn schedule, so the
+		// tile exercises the per-run-graphs batch path, not the shared-
+		// graph fast path.
+		scenarioSpecs[i] = consensus.RunSpec{
+			Scenario:  fmt.Sprintf("churn:16,%d,10,%d,4", i+1, epochs),
+			Algorithm: "midpoint", Rounds: rounds,
+		}
+	}
+	measure := func(specs []consensus.RunSpec, opts ...consensus.SweepOption) (int64, error) {
 		durations := make([]time.Duration, 0, samples)
 		for s := 0; s < samples; s++ {
 			all := append([]consensus.SweepOption{
@@ -170,11 +191,19 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 		return durations[len(durations)/2].Nanoseconds(), nil
 	}
 
-	singleNs, err := measure(consensus.SweepBatchSize(1))
+	singleNs, err := measure(modelSpecs, consensus.SweepBatchSize(1))
 	if err != nil {
 		return err
 	}
-	batchNs, err := measure()
+	batchNs, err := measure(modelSpecs)
+	if err != nil {
+		return err
+	}
+	scenarioSingleNs, err := measure(scenarioSpecs, consensus.SweepBatchSize(1))
+	if err != nil {
+		return err
+	}
+	scenarioBatchNs, err := measure(scenarioSpecs)
 	if err != nil {
 		return err
 	}
@@ -198,14 +227,22 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 		Benchmarks: []benchEntry{
 			{Name: "sweep/single", MedianNs: singleNs, RunsPerSec: perSec(singleNs)},
 			{Name: "sweep/batch", MedianNs: batchNs, RunsPerSec: perSec(batchNs)},
+			{Name: "scenario-sweep/single", MedianNs: scenarioSingleNs, RunsPerSec: perSec(scenarioSingleNs)},
+			{Name: "scenario-sweep/batch", MedianNs: scenarioBatchNs, RunsPerSec: perSec(scenarioBatchNs)},
 		},
 	}
 	if batchNs > 0 {
 		report.SweepSpeedup = float64(singleNs) / float64(batchNs)
 	}
-	fmt.Fprintf(out, "sweep/single  %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
-	fmt.Fprintf(out, "sweep/batch   %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))
-	fmt.Fprintf(out, "batch speedup %.2fx\n", report.SweepSpeedup)
+	if scenarioBatchNs > 0 {
+		report.ScenarioSpeedup = float64(scenarioSingleNs) / float64(scenarioBatchNs)
+	}
+	fmt.Fprintf(out, "sweep/single           %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
+	fmt.Fprintf(out, "sweep/batch            %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))
+	fmt.Fprintf(out, "scenario-sweep/single  %12d ns/sweep  %8.0f runs/s\n", scenarioSingleNs, perSec(scenarioSingleNs))
+	fmt.Fprintf(out, "scenario-sweep/batch   %12d ns/sweep  %8.0f runs/s\n", scenarioBatchNs, perSec(scenarioBatchNs))
+	fmt.Fprintf(out, "batch speedup %.2fx (model sweep), %.2fx (scenario sweep)\n",
+		report.SweepSpeedup, report.ScenarioSpeedup)
 	if jsonPath == "" {
 		return nil
 	}

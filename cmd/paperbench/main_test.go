@@ -34,7 +34,8 @@ func TestRunBenchJSON(t *testing.T) {
 			MedianNs   int64   `json:"median_ns"`
 			RunsPerSec float64 `json:"runs_per_sec"`
 		} `json:"benchmarks"`
-		SweepSpeedup float64 `json:"sweep_speedup_batch_vs_single"`
+		SweepSpeedup    float64 `json:"sweep_speedup_batch_vs_single"`
+		ScenarioSpeedup float64 `json:"scenario_speedup_batch_vs_single"`
 	}
 	if err := json.Unmarshal(body, &report); err != nil {
 		t.Fatalf("bad JSON artifact: %v\n%s", err, body)
@@ -42,16 +43,20 @@ func TestRunBenchJSON(t *testing.T) {
 	if report.Schema != "repro-bench/v1" || report.Specs != 8 || report.Rounds != 50 {
 		t.Errorf("artifact parameters wrong: %+v", report)
 	}
-	if len(report.Benchmarks) != 2 || report.Benchmarks[0].Name != "sweep/single" || report.Benchmarks[1].Name != "sweep/batch" {
-		t.Errorf("artifact benchmarks wrong: %+v", report.Benchmarks)
+	wantNames := []string{"sweep/single", "sweep/batch", "scenario-sweep/single", "scenario-sweep/batch"}
+	if len(report.Benchmarks) != len(wantNames) {
+		t.Fatalf("artifact benchmarks wrong: %+v", report.Benchmarks)
 	}
-	for _, b := range report.Benchmarks {
+	for i, b := range report.Benchmarks {
+		if b.Name != wantNames[i] {
+			t.Errorf("benchmark %d is %q, want %q", i, b.Name, wantNames[i])
+		}
 		if b.MedianNs <= 0 || b.RunsPerSec <= 0 {
 			t.Errorf("benchmark %s has non-positive measurements: %+v", b.Name, b)
 		}
 	}
-	if report.SweepSpeedup <= 0 {
-		t.Errorf("non-positive speedup %v", report.SweepSpeedup)
+	if report.SweepSpeedup <= 0 || report.ScenarioSpeedup <= 0 {
+		t.Errorf("non-positive speedup %v / %v", report.SweepSpeedup, report.ScenarioSpeedup)
 	}
 }
 

@@ -29,11 +29,24 @@
 //
 // # Registries
 //
-// The spec strings above resolve through three registries — Algorithms,
-// Models, and Adversaries — which subsume the per-command string switches
-// the repository previously carried. The registries are extensible at
-// runtime (Register) and self-describing (Describe), which is what the
-// query server's /api/v1/registry endpoint serves.
+// The spec strings above resolve through four registries — Algorithms,
+// Models, Adversaries, and Scenarios — which subsume the per-command
+// string switches the repository previously carried. The registries are
+// extensible at runtime (Register) and self-describing (Describe),
+// which is what the query server's /api/v1/registry endpoint serves.
+//
+// # Scenarios
+//
+// A scenario (package repro/consensus/scenario) is a first-class
+// round-by-round schedule of communication graphs. WithScenario pins a
+// session to one — the run becomes an exact, backend-independent
+// replay — and Session.RunRecorded captures any adversary-driven run as
+// one. Scenario specs resolve through the Scenarios registry
+// ("partitionheal:8,2,5", "churn:16,1,10,100,4", inline
+// "trace:BASE64URL", ...), ride Sweep via RunSpec.Scenario (grids via
+// ScenarioGrid, batched with per-run schedules, cached by trace
+// fingerprint), and serve over HTTP via RunScenario and the
+// /api/v1/scenario endpoint. cmd/scenario is the command-line face.
 //
 // # Batch and query APIs
 //
@@ -47,6 +60,6 @@
 // # Serving
 //
 // Server is an http.Handler exposing run, sweep, solvability, valency,
-// async, and experiment queries as JSON endpoints with per-query
-// timeouts and a response cache; cmd/reprod serves it.
+// async, scenario, and experiment queries as JSON endpoints with
+// per-query timeouts and a response cache; cmd/reprod serves it.
 package consensus

@@ -296,6 +296,7 @@ type Library struct {
 	Algorithms  *AlgorithmRegistry
 	Models      *ModelRegistry
 	Adversaries *AdversaryRegistry
+	Scenarios   *ScenarioRegistry
 }
 
 // algorithms returns the effective algorithm registry.
@@ -320,6 +321,14 @@ func (l *Library) adversaries() *AdversaryRegistry {
 		return l.Adversaries
 	}
 	return Adversaries
+}
+
+// scenarios returns the effective scenario registry.
+func (l *Library) scenarios() *ScenarioRegistry {
+	if l != nil && l.Scenarios != nil {
+		return l.Scenarios
+	}
+	return Scenarios
 }
 
 // Algorithms, Models and Adversaries are the default registries, pre-

@@ -48,6 +48,7 @@ func ServerSweepCache(c *SweepCache) ServerOption {
 //	POST /api/v1/valency       ValencyRequest -> ValencyReport
 //	POST /api/v1/decision      DecisionRequest -> {"points": ...}
 //	POST /api/v1/async         AsyncSpec -> AsyncResult
+//	POST /api/v1/scenario      ScenarioRequest -> ScenarioReport
 //	GET  /api/v1/experiments   experiment listing
 //	POST /api/v1/experiment    {"id": ...} -> table (+ rendered text)
 //
@@ -94,6 +95,7 @@ func NewServer(opts ...ServerOption) *Server {
 	mux.HandleFunc("POST /api/v1/valency", s.handleValency)
 	mux.HandleFunc("POST /api/v1/decision", s.handleDecision)
 	mux.HandleFunc("POST /api/v1/async", s.handleAsync)
+	mux.HandleFunc("POST /api/v1/scenario", s.handleScenario)
 	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /api/v1/experiment", s.handleExperiment)
 	s.mux = mux
@@ -203,6 +205,7 @@ type registryResponse struct {
 	Algorithms  []FactoryInfo `json:"algorithms"`
 	Models      []FactoryInfo `json:"models"`
 	Adversaries []FactoryInfo `json:"adversaries"`
+	Scenarios   []FactoryInfo `json:"scenarios"`
 	Experiments int           `json:"experiments"`
 }
 
@@ -211,6 +214,7 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 		Algorithms:  s.lib.algorithms().Describe(),
 		Models:      s.lib.models().Describe(),
 		Adversaries: s.lib.adversaries().Describe(),
+		Scenarios:   s.lib.scenarios().Describe(),
 		Experiments: len(Experiments()),
 	})
 }
@@ -376,6 +380,38 @@ func (s *Server) handleAsync(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := s.queryCtx(r)
 		defer cancel()
 		return AsyncRun(ctx, spec, s.queryOptions()...)
+	})
+}
+
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	var req ScenarioRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkServerRounds(req.Rounds); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKeyOf("scenario", req)
+	s.cached(w, key, func() (any, error) {
+		ctx, cancel := s.queryCtx(r)
+		defer cancel()
+		sch, err := resolveScenarioRequest(req, s.lib)
+		if err != nil {
+			return nil, err
+		}
+		// The certification and run horizon defaults to the schedule's
+		// Horizon, which an uploaded trace chooses; hold it to the
+		// served-run cap before doing per-round work.
+		horizon := req.Rounds
+		if horizon <= 0 {
+			horizon = sch.Horizon()
+		}
+		if err := checkServerRounds(horizon); err != nil {
+			return nil, err
+		}
+		return runScenarioResolved(ctx, sch, req, s.lib)
 	})
 }
 

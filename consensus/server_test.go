@@ -8,6 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/consensus/scenario"
+	"repro/internal/graph"
 )
 
 func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
@@ -197,5 +200,100 @@ func TestServerHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestServerScenarioEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerTimeout(time.Minute)))
+	defer ts.Close()
+
+	// Inspect + certify + run a generated scenario by spec.
+	resp, body := postJSON(t, ts, "/api/v1/scenario",
+		`{"scenario": "partitionheal:6,2,4", "rounds": 12, "run": true,
+		  "algorithm": "midpoint", "inputs": [0, 0, 0, 1, 1, 1]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scenario status %d: %s", resp.StatusCode, body)
+	}
+	var rep ScenarioReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 6 || rep.Fingerprint == "" || len(rep.Trace) == 0 {
+		t.Fatalf("scenario report incomplete: %+v", rep)
+	}
+	if rep.Certificate.Rooted || rep.Certificate.FirstUnrooted != 1 {
+		t.Errorf("partition rounds not flagged: %+v", rep.Certificate)
+	}
+	if rep.Summary == nil || rep.Summary.FinalDiameter >= 1 {
+		t.Errorf("healed run did not contract: %+v", rep.Summary)
+	}
+
+	// Upload the returned trace; the schedule identity must survive.
+	upload, err := json.Marshal(ScenarioRequest{Trace: rep.Trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts, "/api/v1/scenario", string(upload))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace upload status %d: %s", resp.StatusCode, body)
+	}
+	var rep2 ScenarioReport
+	if err := json.Unmarshal(body, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Fingerprint != rep.Fingerprint {
+		t.Error("uploaded trace changed identity")
+	}
+
+	// Bad requests are 400s.
+	resp, _ = postJSON(t, ts, "/api/v1/scenario", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty request status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/api/v1/scenario", `{"scenario": "nosuch:1"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown scenario status %d, want 400", resp.StatusCode)
+	}
+	// Hostile generator arguments must come back as 400s, not panics.
+	for _, spec := range []string{
+		"partitionheal:100,2,4",
+		"churn:4,1,3074457345618258603,3,1",
+		"repeat:4611686018427387904;eventuallyrooted:4,2",
+	} {
+		resp, _ = postJSON(t, ts, "/api/v1/scenario", `{"scenario": "`+spec+`"}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("hostile spec %q status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerScenarioCertifyHorizonCapped: a certify-only upload whose
+// default horizon exceeds the served-run cap must be rejected before
+// any per-round work, not ground through.
+func TestServerScenarioCertifyHorizonCapped(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerTimeout(time.Minute)))
+	defer ts.Close()
+
+	long := make([]graph.Graph, maxServerRounds+1)
+	for i := range long {
+		long[i] = graph.Complete(2)
+	}
+	sch, err := scenario.NewLasso(2, long, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(ScenarioRequest{Trace: sch.Encode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts, "/api/v1/scenario", string(body))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized certify horizon status %d, want 400: %s", resp.StatusCode, out)
+	}
+	// An explicit in-cap horizon over the same trace is fine.
+	body, _ = json.Marshal(ScenarioRequest{Trace: sch.Encode(), Rounds: 16})
+	resp, out = postJSON(t, ts, "/api/v1/scenario", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capped certify status %d: %s", resp.StatusCode, out)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/consensus/scenario"
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -29,8 +30,11 @@ const (
 type sessionConfig struct {
 	lib           *Library
 	modelSpec     string
+	model         *model.Model // pre-resolved modelSpec, when the caller already built it
 	algorithmSpec string
 	adversarySpec string
+	scenario      *scenario.Schedule
+	scenarioSpec  string
 	inputs        []float64
 	rounds        int
 	seed          int64
@@ -46,7 +50,14 @@ type Option func(*sessionConfig) error
 // WithModel selects the network model by spec string (see the Models
 // registry, e.g. "deaf:4" or "twoagent").
 func WithModel(spec string) Option {
-	return func(c *sessionConfig) error { c.modelSpec = spec; return nil }
+	return func(c *sessionConfig) error { c.modelSpec = spec; c.model = nil; return nil }
+}
+
+// withResolvedModel is WithModel for callers that already resolved the
+// spec (the scenario query certifies against the model before building
+// the session); the spec string still names the model in cache keys.
+func withResolvedModel(spec string, m *model.Model) Option {
+	return func(c *sessionConfig) error { c.modelSpec = spec; c.model = m; return nil }
 }
 
 // WithAlgorithm selects the algorithm by spec string (see the Algorithms
@@ -159,6 +170,7 @@ type Session struct {
 	modelSpec string
 	advSpec   string
 	model     *model.Model
+	scenario  *scenario.Schedule
 	alg       core.Algorithm
 	inputs    []float64
 	rounds    int
@@ -230,6 +242,7 @@ func New(opts ...Option) (*Session, error) {
 		lib:       cfg.lib,
 		modelSpec: cfg.modelSpec,
 		advSpec:   cfg.adversarySpec,
+		scenario:  cfg.scenario,
 		inputs:    cfg.inputs,
 		rounds:    cfg.rounds,
 		seed:      cfg.seed,
@@ -239,7 +252,28 @@ func New(opts ...Option) (*Session, error) {
 		trace:     cfg.trace,
 	}
 
-	if cfg.modelSpec != "" {
+	if cfg.scenarioSpec != "" {
+		if s.scenario != nil {
+			return nil, fmt.Errorf("consensus: WithScenario and WithScenarioSpec are mutually exclusive")
+		}
+		sch, err := s.lib.scenarios().New(cfg.scenarioSpec,
+			ScenarioEnv{Models: s.lib.models(), Scenarios: s.lib.scenarios()})
+		if err != nil {
+			return nil, err
+		}
+		s.scenario = sch
+	}
+	if s.scenario != nil && s.advSpec != "" {
+		return nil, fmt.Errorf("consensus: a session takes a scenario or an adversary, not both")
+	}
+	if s.scenario != nil && s.trace {
+		return nil, fmt.Errorf("consensus: WithGreedyTrace requires a greedy adversary; a scenario replay makes no decisions")
+	}
+
+	switch {
+	case cfg.model != nil:
+		s.model = cfg.model
+	case cfg.modelSpec != "":
 		m, err := s.lib.models().New(cfg.modelSpec)
 		if err != nil {
 			return nil, err
@@ -254,10 +288,18 @@ func New(opts ...Option) (*Session, error) {
 		if s.inputs != nil && len(s.inputs) != n {
 			return nil, fmt.Errorf("consensus: got %d inputs for %d agents", len(s.inputs), n)
 		}
+	case s.scenario != nil:
+		n = s.scenario.N()
+		if s.inputs != nil && len(s.inputs) != n {
+			return nil, fmt.Errorf("consensus: got %d inputs for a %d-agent scenario", len(s.inputs), n)
+		}
 	case s.inputs != nil:
 		n = len(s.inputs)
 	default:
-		return nil, fmt.Errorf("consensus: a session needs WithModel or WithInputs to fix the agent count")
+		return nil, fmt.Errorf("consensus: a session needs WithModel, WithScenario, or WithInputs to fix the agent count")
+	}
+	if s.scenario != nil && s.scenario.N() != n {
+		return nil, fmt.Errorf("consensus: %d-agent scenario in a %d-agent session", s.scenario.N(), n)
 	}
 	if s.inputs == nil {
 		s.inputs = SpreadInputs(n)
@@ -268,6 +310,19 @@ func New(opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	s.alg = alg
+
+	if s.scenario != nil {
+		// The schedule is the pattern source; its fingerprint takes the
+		// adversary spec's slot so sweep-cache keys are keyed by trace.
+		s.advSpec = "scenario:" + s.scenario.Fingerprint()
+		if s.floor {
+			if s.model == nil {
+				return nil, fmt.Errorf("consensus: the valency floor requires a model")
+			}
+			s.engine = sharedEngine(s.lib.models(), s.modelSpec, alg.Name(), s.model, s.depth, alg.Convex())
+		}
+		return s, nil
+	}
 
 	if s.advSpec == "" {
 		if s.model == nil {
@@ -301,7 +356,8 @@ func (s *Session) RoundBudget() int { return s.rounds }
 // Algorithm returns the resolved algorithm name.
 func (s *Session) Algorithm() string { return s.alg.Name() }
 
-// Adversary returns the resolved adversary spec.
+// Adversary returns the resolved adversary spec; scenario-driven
+// sessions report "scenario:" plus the schedule's trace fingerprint.
 func (s *Session) Adversary() string { return s.advSpec }
 
 // Inputs returns a copy of the initial values.
@@ -334,6 +390,9 @@ func (s *Session) ContractionBound() (rate float64, theorem, detail string, ok b
 // newSource builds a fresh pattern source for one run, plus the greedy
 // decision trace sink when tracing is on.
 func (s *Session) newSource() (core.PatternSource, *[]adversary.Decision, error) {
+	if s.scenario != nil {
+		return s.scenario.Source(), nil, nil
+	}
 	env := AdversaryEnv{
 		Model:     s.model,
 		Algorithm: s.alg,

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/consensus/scenario"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -19,6 +20,7 @@ type RunSpec struct {
 	Model     string    `json:"model,omitempty"`
 	Algorithm string    `json:"algorithm,omitempty"`
 	Adversary string    `json:"adversary,omitempty"`
+	Scenario  string    `json:"scenario,omitempty"`
 	Inputs    []float64 `json:"inputs,omitempty"`
 	Rounds    int       `json:"rounds,omitempty"`
 	Seed      int64     `json:"seed,omitempty"`
@@ -36,6 +38,9 @@ func (spec RunSpec) options() []Option {
 	}
 	if spec.Adversary != "" {
 		opts = append(opts, WithAdversary(spec.Adversary))
+	}
+	if spec.Scenario != "" {
+		opts = append(opts, WithScenarioSpec(spec.Scenario))
 	}
 	if spec.Inputs != nil {
 		opts = append(opts, WithInputs(spec.Inputs...))
@@ -263,6 +268,58 @@ type sweepConfig struct {
 	lib      *Library
 	batch    int
 	cacheCap int
+
+	// scenMemo shares resolved schedules across the sweep's specs:
+	// schedules are immutable and content-addressed, so a grid of one
+	// scenario × K algorithms generates/encodes/fingerprints it once,
+	// not K times. Entries are single-flight — concurrent prepare
+	// workers hitting the same spec wait on one resolution instead of
+	// duplicating it.
+	scenMu     sync.Mutex
+	scenMemo   map[string]*scenarioMemoEntry
+	scenBudget int
+}
+
+// scenarioMemoEntry is one single-flight memo slot.
+type scenarioMemoEntry struct {
+	once sync.Once
+	s    *scenario.Schedule
+	err  error
+}
+
+// resolveScenario resolves a scenario spec through the sweep-wide
+// single-flight memo. Resolution is deterministic, so errors are
+// memoized alongside successes. Distinct specs draw on one sweep-wide
+// materialization budget: every resolved schedule stays live in the
+// memo for the whole sweep, so without an aggregate bound a single
+// request of many long-schedule specs could pin gigabytes.
+func (c *sweepConfig) resolveScenario(spec string) (*scenario.Schedule, error) {
+	c.scenMu.Lock()
+	if c.scenMemo == nil {
+		c.scenMemo = make(map[string]*scenarioMemoEntry)
+		c.scenBudget = maxScenarioResolveRounds
+	}
+	e, ok := c.scenMemo[spec]
+	if !ok {
+		e = &scenarioMemoEntry{}
+		c.scenMemo[spec] = e
+	}
+	c.scenMu.Unlock()
+	e.once.Do(func() {
+		lib := c.lib
+		e.s, e.err = lib.scenarios().New(spec, ScenarioEnv{Models: lib.models(), Scenarios: lib.scenarios()})
+		if e.err != nil {
+			return
+		}
+		c.scenMu.Lock()
+		c.scenBudget -= e.s.PrefixLen() + e.s.LoopLen()
+		over := c.scenBudget < 0
+		c.scenMu.Unlock()
+		if over {
+			e.s, e.err = nil, fmt.Errorf("consensus: sweep scenarios materialize more than %d rounds in total", maxScenarioResolveRounds)
+		}
+	})
+	return e.s, e.err
 }
 
 // DefaultSweepBatch is the default cap on runs per batch tile.
@@ -467,7 +524,20 @@ func (t *sweepTask) prepare(ctx context.Context, spec RunSpec, index int, cfg *s
 	if cfg.backend != "" {
 		extra = append(extra, WithBackend(cfg.backend))
 	}
-	session, err := NewSession(spec, extra...)
+	sessionSpec := spec
+	if spec.Scenario != "" {
+		// Resolve through the sweep-wide memo and hand the session the
+		// schedule itself, so grid entries sharing a scenario spec do
+		// not re-materialize it per entry.
+		sch, err := cfg.resolveScenario(spec.Scenario)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		extra = append(extra, WithScenario(sch))
+		sessionSpec.Scenario = ""
+	}
+	session, err := NewSession(sessionSpec, extra...)
 	if err != nil {
 		t.fail(err)
 		return

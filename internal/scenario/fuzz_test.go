@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip drives the codec from both ends. Structured inputs
+// (a seed expanded into a random schedule by the same generator the unit
+// tests use) must round-trip Encode -> Decode graph-exactly and re-encode
+// byte-identically; arbitrary bytes that happen to Decode must re-encode
+// to something that decodes back to the same schedule (the codec never
+// "repairs" a trace into a different one).
+func FuzzTraceRoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		n, prefix, loop := randomSchedule(seed)
+		f.Add(Encode(n, prefix, loop))
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, prefix, loop, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(n, prefix, loop)
+		n2, p2, l2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encode of a decoded trace does not decode: %v", err)
+		}
+		if n2 != n || len(p2) != len(prefix) || len(l2) != len(loop) {
+			t.Fatalf("round trip changed the shape: n %d->%d, prefix %d->%d, loop %d->%d",
+				n, n2, len(prefix), len(p2), len(loop), len(l2))
+		}
+		for i := range prefix {
+			if !p2[i].Equal(prefix[i]) {
+				t.Fatalf("round trip changed prefix round %d", i+1)
+			}
+		}
+		for i := range loop {
+			if !l2[i].Equal(loop[i]) {
+				t.Fatalf("round trip changed loop round %d", i+1)
+			}
+		}
+		// Canonical encodings are a fixed point: encoding the decode of
+		// enc must reproduce enc.
+		if !bytes.Equal(Encode(n2, p2, l2), enc) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+		if Fingerprint(n, prefix, loop) != Fingerprint(n2, p2, l2) {
+			t.Fatal("fingerprint changed across the round trip")
+		}
+	})
+}
