@@ -109,28 +109,41 @@ func run(args []string, out io.Writer) error {
 }
 
 // benchReport is the machine-readable benchmark artifact (committed as
-// BENCH_PR5.json and uploaded by CI): the batch-plane sweep against
-// PR 3's goroutine-per-run sweep, on the shared-model workload and on a
-// scenario grid with per-run schedules, medians over the sampled
-// repetitions, so the perf trajectory is tracked commit over commit.
+// BENCH_PR6.json and uploaded by CI): the batch-plane sweep against
+// PR 3's goroutine-per-run sweep, on the shared-model workload and on
+// two scenario grids with per-run schedules (long churn epochs, and
+// every-round churn for maximal graph diversity), medians over the
+// sampled repetitions, so the perf trajectory is tracked commit over
+// commit.
 type benchReport struct {
-	Schema      string       `json:"schema"`
-	GeneratedAt string       `json:"generated_at"`
-	GoVersion   string       `json:"go_version"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	CPUs        int          `json:"cpus"`
-	Backend     string       `json:"backend"`
-	Specs       int          `json:"specs"`
-	Rounds      int          `json:"rounds"`
-	Samples     int          `json:"samples"`
-	Benchmarks  []benchEntry `json:"benchmarks"`
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// CPUs is the machine's logical CPU count, GOMAXPROCS the scheduler
+	// parallelism the sweeps actually ran with — the two diverge under
+	// container quotas, and throughput ratios are only comparable at
+	// equal GOMAXPROCS.
+	CPUs       int          `json:"cpus"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Backend    string       `json:"backend"`
+	Specs      int          `json:"specs"`
+	Rounds     int          `json:"rounds"`
+	Samples    int          `json:"samples"`
+	Benchmarks []benchEntry `json:"benchmarks"`
 	// SweepSpeedup is sweep/single median over sweep/batch median — the
 	// batch plane's throughput multiplier at equal worker count.
 	SweepSpeedup float64 `json:"sweep_speedup_batch_vs_single"`
 	// ScenarioSpeedup is the same ratio for the scenario grid, where
-	// every run follows its own schedule (per-run graphs in one batch).
+	// every run follows its own schedule (per-run graphs in one batch,
+	// graph changing every 10 rounds).
 	ScenarioSpeedup float64 `json:"scenario_speedup_batch_vs_single"`
+	// ScenarioDiverseSpeedup is the ratio for the high-diversity
+	// scenario grid: churn with single-round epochs, so every run plays
+	// a new graph every round and the plan cache is pure churn — the
+	// worst case for clustered stepping.
+	ScenarioDiverseSpeedup float64 `json:"scenario_diverse_speedup_batch_vs_single"`
 }
 
 // benchEntry is one measured configuration.
@@ -169,41 +182,65 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 			Algorithm: "midpoint", Rounds: rounds,
 		}
 	}
-	measure := func(specs []consensus.RunSpec, opts ...consensus.SweepOption) (int64, error) {
-		durations := make([]time.Duration, 0, samples)
-		for s := 0; s < samples; s++ {
-			all := append([]consensus.SweepOption{
-				consensus.WithSweepCache(consensus.NewSweepCache()),
-			}, opts...)
-			start := time.Now()
-			results, err := consensus.Sweep(context.Background(), specs, all...)
-			if err != nil {
-				return 0, err
-			}
-			for _, r := range results {
-				if r.Err != "" {
-					return 0, fmt.Errorf("spec %d: %s", r.Index, r.Err)
-				}
-			}
-			durations = append(durations, time.Since(start))
+	diverseSpecs := make([]consensus.RunSpec, specCount)
+	for i := range diverseSpecs {
+		// Single-round epochs: every run changes graph every round, so
+		// distinct graphs across the batch dwarf the plan-cache cap and
+		// clustered stepping runs at maximal graph diversity.
+		diverseSpecs[i] = consensus.RunSpec{
+			Scenario:  fmt.Sprintf("churn:16,%d,1,%d,4", 1000+i, max(rounds, 1)),
+			Algorithm: "midpoint", Rounds: rounds,
 		}
+	}
+	sweepOnce := func(specs []consensus.RunSpec, opts ...consensus.SweepOption) (time.Duration, error) {
+		all := append([]consensus.SweepOption{
+			consensus.WithSweepCache(consensus.NewSweepCache()),
+		}, opts...)
+		start := time.Now()
+		results, err := consensus.Sweep(context.Background(), specs, all...)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				return 0, fmt.Errorf("spec %d: %s", r.Index, r.Err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	median := func(durations []time.Duration) int64 {
 		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
-		return durations[len(durations)/2].Nanoseconds(), nil
+		return durations[len(durations)/2].Nanoseconds()
+	}
+	// Single and batch samples alternate within one workload, so slow
+	// drift in machine load lands on both sides of each speedup ratio
+	// instead of skewing whichever path happened to run later.
+	measurePair := func(specs []consensus.RunSpec) (int64, int64, error) {
+		single := make([]time.Duration, 0, samples)
+		batch := make([]time.Duration, 0, samples)
+		for s := 0; s < samples; s++ {
+			d, err := sweepOnce(specs, consensus.SweepBatchSize(1))
+			if err != nil {
+				return 0, 0, err
+			}
+			single = append(single, d)
+			if d, err = sweepOnce(specs); err != nil {
+				return 0, 0, err
+			}
+			batch = append(batch, d)
+		}
+		return median(single), median(batch), nil
 	}
 
-	singleNs, err := measure(modelSpecs, consensus.SweepBatchSize(1))
+	singleNs, batchNs, err := measurePair(modelSpecs)
 	if err != nil {
 		return err
 	}
-	batchNs, err := measure(modelSpecs)
+	scenarioSingleNs, scenarioBatchNs, err := measurePair(scenarioSpecs)
 	if err != nil {
 		return err
 	}
-	scenarioSingleNs, err := measure(scenarioSpecs, consensus.SweepBatchSize(1))
-	if err != nil {
-		return err
-	}
-	scenarioBatchNs, err := measure(scenarioSpecs)
+	diverseSingleNs, diverseBatchNs, err := measurePair(diverseSpecs)
 	if err != nil {
 		return err
 	}
@@ -214,12 +251,13 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 		return float64(specCount) / (float64(ns) / 1e9)
 	}
 	report := benchReport{
-		Schema:      "repro-bench/v1",
+		Schema:      "repro-bench/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Backend:     backend,
 		Specs:       specCount,
 		Rounds:      rounds,
@@ -229,6 +267,8 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 			{Name: "sweep/batch", MedianNs: batchNs, RunsPerSec: perSec(batchNs)},
 			{Name: "scenario-sweep/single", MedianNs: scenarioSingleNs, RunsPerSec: perSec(scenarioSingleNs)},
 			{Name: "scenario-sweep/batch", MedianNs: scenarioBatchNs, RunsPerSec: perSec(scenarioBatchNs)},
+			{Name: "scenario-diverse/single", MedianNs: diverseSingleNs, RunsPerSec: perSec(diverseSingleNs)},
+			{Name: "scenario-diverse/batch", MedianNs: diverseBatchNs, RunsPerSec: perSec(diverseBatchNs)},
 		},
 	}
 	if batchNs > 0 {
@@ -237,12 +277,17 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 	if scenarioBatchNs > 0 {
 		report.ScenarioSpeedup = float64(scenarioSingleNs) / float64(scenarioBatchNs)
 	}
-	fmt.Fprintf(out, "sweep/single           %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
-	fmt.Fprintf(out, "sweep/batch            %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))
-	fmt.Fprintf(out, "scenario-sweep/single  %12d ns/sweep  %8.0f runs/s\n", scenarioSingleNs, perSec(scenarioSingleNs))
-	fmt.Fprintf(out, "scenario-sweep/batch   %12d ns/sweep  %8.0f runs/s\n", scenarioBatchNs, perSec(scenarioBatchNs))
-	fmt.Fprintf(out, "batch speedup %.2fx (model sweep), %.2fx (scenario sweep)\n",
-		report.SweepSpeedup, report.ScenarioSpeedup)
+	if diverseBatchNs > 0 {
+		report.ScenarioDiverseSpeedup = float64(diverseSingleNs) / float64(diverseBatchNs)
+	}
+	fmt.Fprintf(out, "sweep/single             %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
+	fmt.Fprintf(out, "sweep/batch              %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))
+	fmt.Fprintf(out, "scenario-sweep/single    %12d ns/sweep  %8.0f runs/s\n", scenarioSingleNs, perSec(scenarioSingleNs))
+	fmt.Fprintf(out, "scenario-sweep/batch     %12d ns/sweep  %8.0f runs/s\n", scenarioBatchNs, perSec(scenarioBatchNs))
+	fmt.Fprintf(out, "scenario-diverse/single  %12d ns/sweep  %8.0f runs/s\n", diverseSingleNs, perSec(diverseSingleNs))
+	fmt.Fprintf(out, "scenario-diverse/batch   %12d ns/sweep  %8.0f runs/s\n", diverseBatchNs, perSec(diverseBatchNs))
+	fmt.Fprintf(out, "batch speedup %.2fx (model sweep), %.2fx (scenario sweep), %.2fx (diverse scenario sweep)\n",
+		report.SweepSpeedup, report.ScenarioSpeedup, report.ScenarioDiverseSpeedup)
 	if jsonPath == "" {
 		return nil
 	}

@@ -29,21 +29,30 @@ func TestRunBenchJSON(t *testing.T) {
 		Schema     string `json:"schema"`
 		Specs      int    `json:"specs"`
 		Rounds     int    `json:"rounds"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
 		Benchmarks []struct {
 			Name       string  `json:"name"`
 			MedianNs   int64   `json:"median_ns"`
 			RunsPerSec float64 `json:"runs_per_sec"`
 		} `json:"benchmarks"`
-		SweepSpeedup    float64 `json:"sweep_speedup_batch_vs_single"`
-		ScenarioSpeedup float64 `json:"scenario_speedup_batch_vs_single"`
+		SweepSpeedup           float64 `json:"sweep_speedup_batch_vs_single"`
+		ScenarioSpeedup        float64 `json:"scenario_speedup_batch_vs_single"`
+		ScenarioDiverseSpeedup float64 `json:"scenario_diverse_speedup_batch_vs_single"`
 	}
 	if err := json.Unmarshal(body, &report); err != nil {
 		t.Fatalf("bad JSON artifact: %v\n%s", err, body)
 	}
-	if report.Schema != "repro-bench/v1" || report.Specs != 8 || report.Rounds != 50 {
+	if report.Schema != "repro-bench/v2" || report.Specs != 8 || report.Rounds != 50 {
 		t.Errorf("artifact parameters wrong: %+v", report)
 	}
-	wantNames := []string{"sweep/single", "sweep/batch", "scenario-sweep/single", "scenario-sweep/batch"}
+	if report.GOMAXPROCS < 1 {
+		t.Errorf("artifact missing gomaxprocs: %+v", report)
+	}
+	wantNames := []string{
+		"sweep/single", "sweep/batch",
+		"scenario-sweep/single", "scenario-sweep/batch",
+		"scenario-diverse/single", "scenario-diverse/batch",
+	}
 	if len(report.Benchmarks) != len(wantNames) {
 		t.Fatalf("artifact benchmarks wrong: %+v", report.Benchmarks)
 	}
@@ -55,8 +64,9 @@ func TestRunBenchJSON(t *testing.T) {
 			t.Errorf("benchmark %s has non-positive measurements: %+v", b.Name, b)
 		}
 	}
-	if report.SweepSpeedup <= 0 || report.ScenarioSpeedup <= 0 {
-		t.Errorf("non-positive speedup %v / %v", report.SweepSpeedup, report.ScenarioSpeedup)
+	if report.SweepSpeedup <= 0 || report.ScenarioSpeedup <= 0 || report.ScenarioDiverseSpeedup <= 0 {
+		t.Errorf("non-positive speedup %v / %v / %v",
+			report.SweepSpeedup, report.ScenarioSpeedup, report.ScenarioDiverseSpeedup)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -37,6 +38,13 @@ type Schedule struct {
 	n      int
 	prefix []graph.Graph
 	loop   []graph.Graph
+
+	// fp memoizes Fingerprint: schedules are immutable and every
+	// consumer of one (session identity, sweep caching, registry
+	// caching, tile ordering) keys on the same digest, so it is
+	// computed at most once per schedule.
+	fpOnce sync.Once
+	fp     string
 }
 
 // New returns the finite schedule playing the given graphs in order
@@ -135,9 +143,12 @@ func Decode(data []byte) (*Schedule, error) {
 }
 
 // Fingerprint returns the hex SHA-256 digest of the canonical encoding —
-// the schedule's identity. Two schedules are interchangeable for replay
-// iff their fingerprints agree.
-func (s *Schedule) Fingerprint() string { return codec.Fingerprint(s.n, s.prefix, s.loop) }
+// the schedule's identity, computed once and memoized. Two schedules are
+// interchangeable for replay iff their fingerprints agree.
+func (s *Schedule) Fingerprint() string {
+	s.fpOnce.Do(func() { s.fp = codec.Fingerprint(s.n, s.prefix, s.loop) })
+	return s.fp
+}
 
 // Equal reports whether the two schedules play identical graphs in every
 // round (same lasso decomposition).

@@ -126,6 +126,13 @@ func TestScenarioSweepBatchParity(t *testing.T) {
 			Rounds:    rounds,
 		}
 	}
+	assertSweepBatchParity(t, specs)
+}
+
+// assertSweepBatchParity sweeps specs through the batched path and the
+// per-session path and requires bit-identical summaries.
+func assertSweepBatchParity(t *testing.T, specs []RunSpec) {
+	t.Helper()
 	ctx := context.Background()
 	batched, err := Sweep(ctx, specs, WithSweepCache(NewSweepCache()))
 	if err != nil {
@@ -159,6 +166,105 @@ func TestScenarioSweepBatchParity(t *testing.T) {
 			t.Fatalf("spec %d summary mismatch:\nbatch:  %+v\nsingle: %+v", i, *b.Summary, *s.Summary)
 		}
 	}
+}
+
+// TestScenarioResolutionCache pins the registry-level resolution memo:
+// re-resolving a spec returns the identical schedule object (not a
+// re-materialization) and counts as a cache hit, while distinct specs
+// miss and errors are not cached.
+func TestScenarioResolutionCache(t *testing.T) {
+	r := NewScenarioRegistry()
+	if err := r.Register(ScenarioFactory{
+		Name: "testchurn", Usage: "testchurn:SEED",
+		New: func(arg string, env ScenarioEnv) (*scenario.Schedule, error) {
+			v, err := parseInts("testchurn", arg, 1)
+			if err != nil {
+				return nil, err
+			}
+			return scenario.Churn(8, v[0], 3, 4, 2)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env := ScenarioEnv{Models: Models, Scenarios: r}
+	a, err := r.New("testchurn:1", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.New("testchurn:1", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("re-resolving the same spec re-materialized the schedule")
+	}
+	if _, err := r.New("testchurn:2", env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.New("testchurn:bogus", env); err == nil {
+		t.Fatal("bad arg must error")
+	}
+	if _, err := r.New("testchurn:bogus", env); err == nil {
+		t.Fatal("bad arg must error on re-resolution too (errors are not cached)")
+	}
+	hits, misses, entries := r.ResolveCacheStats()
+	if hits != 1 || entries != 2 {
+		t.Fatalf("stats hits=%d misses=%d entries=%d, want hits=1 entries=2", hits, misses, entries)
+	}
+}
+
+// TestScenarioSweepBatchParityBlended mixes shared-schedule and per-run-
+// schedule runs in one sweep: groups of runs replaying one schedule
+// (some under distinct spec strings resolving to the same fingerprint,
+// so they only meet through fingerprint-sorted tiling), interleaved with
+// runs playing their own. The clustered stepper must collapse the shared
+// groups onto common plans and keep every summary bit-identical to the
+// per-session path.
+func TestScenarioSweepBatchParityBlended(t *testing.T) {
+	const rounds = 40
+	shared, err := Scenarios.New("churn:16,7,5,8,4", ScenarioEnv{Models: Models, Scenarios: Scenarios})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedTrace := "trace:" + EncodeTraceString(shared)
+	var specs []RunSpec
+	for i := 0; i < 48; i++ {
+		var spec string
+		switch i % 4 {
+		case 0:
+			// One shared schedule under its generator spec...
+			spec = "churn:16,7,5,8,4"
+		case 1:
+			// ...and under the trace spelling of the same fingerprint,
+			// interleaved so only schedule-sorted tiling reunites them.
+			spec = sharedTrace
+		default:
+			// Everyone else plays their own schedule.
+			spec = fmt.Sprintf("churn:16,%d,5,8,4", 100+i)
+		}
+		specs = append(specs, RunSpec{Scenario: spec, Algorithm: "midpoint", Rounds: rounds})
+	}
+	assertSweepBatchParity(t, specs)
+}
+
+// TestScenarioSweepBatchParityCacheOverflow runs schedules whose joint
+// distinct-graph count far exceeds the runner's plan-cache cap (churn
+// with period 1 changes graph every round), so the batched sweep evicts
+// and recycles plans continuously. Summaries must stay bit-identical to
+// the per-session path.
+func TestScenarioSweepBatchParityCacheOverflow(t *testing.T) {
+	const B, rounds = 16, 120
+	// 16 runs x 120 single-round epochs ~ 1920 distinct graphs, against
+	// a default cap of 512.
+	specs := make([]RunSpec, B)
+	for i := range specs {
+		specs[i] = RunSpec{
+			Scenario:  fmt.Sprintf("churn:16,%d,1,%d,4", i+1, rounds),
+			Algorithm: "midpoint",
+			Rounds:    rounds,
+		}
+	}
+	assertSweepBatchParity(t, specs)
 }
 
 // TestScenarioSweepCachedByFingerprint re-sweeps distinct spec strings

@@ -56,12 +56,37 @@ type ScenarioFactory struct {
 	New     func(arg string, env ScenarioEnv) (*scenario.Schedule, error)
 }
 
+// Resolution-cache bounds: entries caps distinct specs, rounds caps the
+// total graphs pinned by cached schedules (schedules are immutable and
+// shared with callers, so the cache's marginal cost is the table itself
+// plus whatever the caller would have dropped). A schedule too large to
+// ever share the cache fairly is simply not cached.
+const (
+	maxScenarioCacheEntries = 256
+	maxScenarioCacheRounds  = 1 << 20
+)
+
 // ScenarioRegistry maps spec names to scenario factories. It is safe for
 // concurrent use.
+//
+// It memoizes successful resolutions: factories are deterministic by
+// contract, schedules are immutable, and scenario sweeps resolve the
+// same specs once per session construction — so repeated resolutions
+// (sweep re-runs, grid axes sharing scenarios, server queries) return
+// the already-materialized schedule, with its fingerprint memo warm.
+// The cache is FIFO-bounded by entries and by total cached rounds.
 type ScenarioRegistry struct {
 	id uint64
 	mu sync.RWMutex
 	m  map[string]ScenarioFactory
+
+	cacheMu      sync.Mutex
+	cache        map[string]*scenario.Schedule
+	cacheOrder   []string
+	cacheHead    int
+	cachedRounds int
+	cacheHits    uint64
+	cacheMisses  uint64
 }
 
 // NewScenarioRegistry returns an empty registry.
@@ -84,6 +109,9 @@ func (r *ScenarioRegistry) Register(f ScenarioFactory) error {
 }
 
 // New resolves a spec string ("name" or "name:arg") to a schedule.
+// Successful resolutions are memoized (see ScenarioRegistry); the round
+// budget is charged on cache hits too, so a composite tree's allowance
+// is independent of cache state.
 func (r *ScenarioRegistry) New(spec string, env ScenarioEnv) (*scenario.Schedule, error) {
 	env.depth++
 	if env.depth > maxScenarioResolveDepth {
@@ -92,6 +120,13 @@ func (r *ScenarioRegistry) New(spec string, env ScenarioEnv) (*scenario.Schedule
 	if env.budget == nil {
 		budget := maxScenarioResolveRounds
 		env.budget = &budget
+	}
+	key := r.resolveCacheKey(spec, env)
+	if s, ok := r.cachedSchedule(key); ok {
+		if *env.budget -= s.PrefixLen() + s.LoopLen(); *env.budget < 0 {
+			return nil, fmt.Errorf("consensus: scenario spec materializes more than %d rounds across its composition", maxScenarioResolveRounds)
+		}
+		return s, nil
 	}
 	name, arg := splitSpec(spec)
 	r.mu.RLock()
@@ -108,7 +143,79 @@ func (r *ScenarioRegistry) New(spec string, env ScenarioEnv) (*scenario.Schedule
 	if *env.budget -= s.PrefixLen() + s.LoopLen(); *env.budget < 0 {
 		return nil, fmt.Errorf("consensus: scenario spec materializes more than %d rounds across its composition", maxScenarioResolveRounds)
 	}
+	r.storeSchedule(key, s)
 	return s, nil
+}
+
+// resolveCacheKey names one resolution: the spec plus the identities of
+// the registries a factory may consult (models for generator operands,
+// scenarios for composite recursion). Registries only grow, so a key
+// that resolved once resolves the same way forever.
+func (r *ScenarioRegistry) resolveCacheKey(spec string, env ScenarioEnv) string {
+	var mid, sid uint64
+	if env.Models != nil {
+		mid = env.Models.id
+	}
+	if env.Scenarios != nil {
+		sid = env.Scenarios.id
+	}
+	return strconv.FormatUint(mid, 36) + "|" + strconv.FormatUint(sid, 36) + "|" + spec
+}
+
+// cachedSchedule looks up a memoized resolution.
+func (r *ScenarioRegistry) cachedSchedule(key string) (*scenario.Schedule, bool) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	s, ok := r.cache[key]
+	if ok {
+		r.cacheHits++
+	} else {
+		r.cacheMisses++
+	}
+	return s, ok
+}
+
+// storeSchedule memoizes a successful resolution, evicting oldest-first
+// (FIFO: order slice plus head index, compacted at half-waste) until the
+// entry and round caps hold. Oversized schedules that would monopolize
+// the round allowance are not cached.
+func (r *ScenarioRegistry) storeSchedule(key string, s *scenario.Schedule) {
+	rounds := s.PrefixLen() + s.LoopLen()
+	if rounds > maxScenarioCacheRounds/4 {
+		return
+	}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[string]*scenario.Schedule, maxScenarioCacheEntries)
+	}
+	if _, dup := r.cache[key]; dup {
+		return // lost a race with a concurrent resolver; keep the first
+	}
+	for len(r.cache) >= maxScenarioCacheEntries || r.cachedRounds+rounds > maxScenarioCacheRounds {
+		old := r.cacheOrder[r.cacheHead]
+		r.cacheOrder[r.cacheHead] = ""
+		r.cacheHead++
+		if prev, ok := r.cache[old]; ok {
+			r.cachedRounds -= prev.PrefixLen() + prev.LoopLen()
+			delete(r.cache, old)
+		}
+		if r.cacheHead*2 >= len(r.cacheOrder) {
+			r.cacheOrder = append(r.cacheOrder[:0], r.cacheOrder[r.cacheHead:]...)
+			r.cacheHead = 0
+		}
+	}
+	r.cache[key] = s
+	r.cacheOrder = append(r.cacheOrder, key)
+	r.cachedRounds += rounds
+}
+
+// ResolveCacheStats reports the resolution cache's hit/miss counts and
+// current entry count.
+func (r *ScenarioRegistry) ResolveCacheStats() (hits, misses uint64, entries int) {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	return r.cacheHits, r.cacheMisses, len(r.cache)
 }
 
 // Names returns the sorted registered names.

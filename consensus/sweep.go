@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -433,6 +434,16 @@ func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepRe
 	}
 	for _, key := range tileKeys {
 		group := tiles[key]
+		// Order the group by schedule identity (the session's pattern
+		// spec — "scenario:<fingerprint>" for schedule-driven runs)
+		// before chunking, so runs replaying equal schedules land in the
+		// same tile and the batch runner's graph clustering collapses
+		// them onto shared step plans. The sort is stable on the spec
+		// index, so equal-schedule runs keep submission order and sweeps
+		// with all-distinct schedules keep their original tiling.
+		sort.SliceStable(group, func(i, j int) bool {
+			return group[i].session.advSpec < group[j].session.advSpec
+		})
 		// Split large tiles so one tile cannot serialize the pool: at
 		// most cfg.batch runs per tile, and at least one tile per
 		// worker when the group is large enough.
@@ -641,6 +652,20 @@ func (t *sweepTask) runSingle(ctx context.Context, cfg *sweepConfig) {
 // materialization: only the diameter series (needed by GeometricRate
 // and WorstRoundRatio), the running validity flag, and the final
 // outputs are kept per run.
+// sweepPlanCacheCap sizes a sweep runner's step-plan cache by a ~4 MiB
+// byte budget at roughly 40n+300 bytes per cached plan (segments, fold
+// scratch, and the mask key), never below the runner's flat default —
+// e.g. ~4400 plans at n = 16, ~1400 at n = 64. Churn-style generators
+// draw from populations of a few thousand distinct graphs, so holding
+// the whole working set converts steady-state lookups into map hits.
+func sweepPlanCacheCap(n int) int {
+	c := (4 << 20) / (40*n + 300)
+	if c < core.DefaultPlanCacheCap {
+		return core.DefaultPlanCacheCap
+	}
+	return c
+}
+
 func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 	if err := ctx.Err(); err != nil {
 		for _, t := range tile {
@@ -667,6 +692,12 @@ func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 		inputs[i] = t.session.inputs
 	}
 	br := core.NewBatchRunner(d, inputs)
+	// Scenario sweeps revisit graphs heavily (lassos, churn epochs, and
+	// generators drawing from small graph populations), so size the plan
+	// cache by a byte budget instead of the flat default: small-n plans
+	// are tiny, and holding the whole working set turns the per-round
+	// lookup into a map hit instead of rebuild churn.
+	br.SetPlanCacheCap(sweepPlanCacheCap(n))
 
 	diams := make([][]float64, B)
 	valid := make([]bool, B)
@@ -683,7 +714,19 @@ func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 		valid[i] = true
 	}
 
+	// Schedule-driven sources (the scenario path — the common case) are
+	// devirtualized once here: the per-round loop indexes the lasso
+	// directly instead of paying an interface dispatch per run per round.
 	gs := make([]graph.Graph, B)
+	scheds := make([]core.Schedule, B)
+	schedOK := true
+	for i, t := range tile {
+		var ok bool
+		if scheds[i], ok = t.src.(core.Schedule); !ok {
+			schedOK = false
+			break
+		}
+	}
 	done := ctx.Done()
 	for round := 1; round <= rounds; round++ {
 		if done != nil {
@@ -696,8 +739,14 @@ func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 			default:
 			}
 		}
-		for i, t := range tile {
-			gs[i] = t.src.Next(round, nil)
+		if schedOK {
+			for i := range scheds {
+				gs[i] = scheds[i].At(round)
+			}
+		} else {
+			for i, t := range tile {
+				gs[i] = t.src.Next(round, nil)
+			}
 		}
 		br.StepEachWithHulls(gs, los, his)
 		for i := 0; i < B; i++ {

@@ -8,18 +8,24 @@ import (
 
 // This file implements the batched execution plane (core.BatchStepper)
 // for the algorithms whose per-receiver update is a pure function of the
-// in-mask: one call steps every run of a core.BatchState under a shared
-// graph, with the receiver segmentation (plan.Segs) computed once for
-// the whole batch instead of once per run per receiver.
+// in-mask: one call steps every run of plan.Runs — the whole batch on
+// shared-graph rounds, one graph-cluster of it on clustered per-run
+// rounds — under one shared graph, with the receiver segmentation
+// (plan.Segs) computed once (and cached by the runner across rounds)
+// instead of once per run per receiver.
 //
-// Bit-identity contract: within each run the float operations are
-// exactly those of StepDense — the same folds over the same masks in the
-// same per-receiver order. The only sharing beyond the single-run
-// last-mask memo is fold reuse across non-adjacent segments with equal
-// masks (seg.Fold), which is transparent because min/max/sum folds are
-// pure functions of the received multiset. The randomized differential
-// tests in dense_batch_test.go pin batch-vs-single equivalence for every
-// dense algorithm, batched stepper or not.
+// Bit-identity contract: within each run every stored float carries the
+// same bits StepDense would store. Two fold-sharing moves go beyond the
+// single-run last-mask memo: fold reuse across non-adjacent segments
+// with equal masks (seg.Fold), and subset-delta folds (seg.Base) that
+// extend an earlier fold by the mask difference. Both are transparent
+// for min/max folds because fmin/fmax are exact multiset selections —
+// the result does not depend on association order, NaN and signed-zero
+// cases included. Order-sensitive folds (Mean's sum, FlowSum) ignore
+// seg.Base and fold their masks in StepDense's index order. The
+// randomized differential tests in dense_batch_test.go pin
+// batch-vs-single equivalence for every dense algorithm, batched
+// stepper or not.
 //
 // SelfWeighted and TwoThirds keep the generic per-view path: their
 // updates depend on the receiver index, so there is nothing
@@ -49,22 +55,28 @@ func (h *hullAcc) commit(plan *core.StepPlan, r int) {
 	plan.HullLo[r], plan.HullHi[r] = h.lo, h.hi
 }
 
-// StepDenseBatch implements core.BatchStepper.
+// StepDenseBatch implements core.BatchStepper. Distinct folds carrying a
+// subset base (MaskSeg.Base) extend the base fold by the delta bits — an
+// exact multiset selection, so the midpoint bits match the full refold.
 func (Midpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
-	mids := plan.F0
-	for r := 0; r < src.B(); r++ {
+	los, his := plan.F0, plan.F1
+	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
 		var hull hullAcc
 		for si := range plan.Segs {
 			seg := &plan.Segs[si]
-			var mid float64
+			var lo, hi float64
 			if seg.Fold == si {
-				lo, hi := foldMinMax(y, seg.Mask)
-				mid = (lo + hi) / 2
-				mids[si] = mid
+				if seg.Base >= 0 {
+					lo, hi = foldMinMaxDelta(y, seg.Delta, los[seg.Base], his[seg.Base])
+				} else {
+					lo, hi = foldMinMax(y, seg.Mask)
+				}
+				los[si], his[si] = lo, hi
 			} else {
-				mid = mids[seg.Fold]
+				lo, hi = los[seg.Fold], his[seg.Fold]
 			}
+			mid := (lo + hi) / 2
 			if plan.WantHull {
 				hull.add(mid)
 			}
@@ -82,7 +94,7 @@ func (Midpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 // StepDenseBatch implements core.BatchStepper.
 func (Mean) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	means := plan.F0
-	for r := 0; r < src.B(); r++ {
+	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
 		var hull hullAcc
 		for si := range plan.Segs {
@@ -110,20 +122,24 @@ func (Mean) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 
 // StepDenseBatch implements core.BatchStepper.
 func (a QuantizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
-	snaps := plan.F0
-	for r := 0; r < src.B(); r++ {
+	los, his := plan.F0, plan.F1
+	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
 		var hull hullAcc
 		for si := range plan.Segs {
 			seg := &plan.Segs[si]
-			var snapped float64
+			var lo, hi float64
 			if seg.Fold == si {
-				lo, hi := foldMinMax(y, seg.Mask)
-				snapped = math.Floor((lo+hi)/(2*a.Q)) * a.Q
-				snaps[si] = snapped
+				if seg.Base >= 0 {
+					lo, hi = foldMinMaxDelta(y, seg.Delta, los[seg.Base], his[seg.Base])
+				} else {
+					lo, hi = foldMinMax(y, seg.Mask)
+				}
+				los[si], his[si] = lo, hi
 			} else {
-				snapped = snaps[seg.Fold]
+				lo, hi = los[seg.Fold], his[seg.Fold]
 			}
+			snapped := math.Floor((lo+hi)/(2*a.Q)) * a.Q
 			if plan.WantHull {
 				hull.add(snapped)
 			}
@@ -144,7 +160,7 @@ func (AmortizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.St
 	phase := amortizedPhase(n)
 	phaseEnd := dst.Round()%phase == 0
 	los, his := plan.F0, plan.F1
-	for r := 0; r < src.B(); r++ {
+	for _, r := range plan.Runs {
 		y := src.RunY(r)
 		lo0, hi0 := src.RunPlane(r, amortizedPlaneLo), src.RunPlane(r, amortizedPlaneHi)
 		oy := dst.RunY(r)
@@ -154,7 +170,11 @@ func (AmortizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.St
 			seg := &plan.Segs[si]
 			var lo, hi float64
 			if seg.Fold == si {
-				lo, hi = foldInterval(lo0, hi0, seg.Mask)
+				if seg.Base >= 0 {
+					lo, hi = foldIntervalDelta(lo0, hi0, seg.Delta, los[seg.Base], his[seg.Base])
+				} else {
+					lo, hi = foldInterval(lo0, hi0, seg.Mask)
+				}
 				los[si], his[si] = lo, hi
 			} else {
 				lo, hi = los[seg.Fold], his[seg.Fold]
@@ -186,7 +206,7 @@ func (AmortizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.St
 // StepDenseBatch implements core.BatchStepper.
 func (f FlowSum) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	sums := plan.F0
-	for r := 0; r < src.B(); r++ {
+	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
 		var hull hullAcc
 		for si := range plan.Segs {
@@ -218,7 +238,7 @@ func (f FlowSum) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) 
 // per-receiver bookkeeping on mostly-uninformed rounds, is shared.
 func (FloodRoot) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	heards, values := plan.F0, plan.F1
-	for r := 0; r < src.B(); r++ {
+	for _, r := range plan.Runs {
 		y := src.RunY(r)
 		inf0, rv0 := src.RunPlane(r, floodPlaneInformed), src.RunPlane(r, floodPlaneRoot)
 		oy := dst.RunY(r)

@@ -1,0 +1,127 @@
+package approx_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// clusterGraph returns the n-node graph where agent j listens to itself
+// and agent (j+k) mod n.
+func clusterGraph(t *testing.T, n, k int) graph.Graph {
+	t.Helper()
+	masks := make([]uint64, n)
+	for j := 0; j < n; j++ {
+		masks[j] = 1<<uint(j) | 1<<uint((j+k)%n)
+	}
+	g, err := graph.FromInMasks(n, masks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDecidingBatchClusteredParity steps a deciding batch through an
+// adversarial clustered workload — per-run graph sequences that blend
+// shared and distinct graphs under a plan cache too small to hold them,
+// with decided runs compacted away mid-run — and asserts per-round
+// parity against both single-run backends: bit-identical outputs and
+// configuration fingerprints every round, for every surviving run.
+func TestDecidingBatchClusteredParity(t *testing.T) {
+	const n, B, rounds, decideAt, compactAt = 5, 6, 14, 4, 7
+	alg := approx.DecidingAlgorithm{Inner: algorithms.Midpoint{}, DecisionRound: decideAt}
+	d, ok := core.AsDense(alg)
+	if !ok {
+		t.Fatal("deciding midpoint is not dense-capable")
+	}
+
+	inputs := make([][]float64, B)
+	for i := range inputs {
+		in := make([]float64, n)
+		for j := range in {
+			in[j] = float64((i*29+j*13)%17) / 17
+		}
+		inputs[i] = in
+	}
+	// Round r graph for run i: runs with even i share one graph per
+	// round, odd runs play their own — each round mixes one multi-run
+	// cluster with singleton clusters, and the graph stream never
+	// repeats, so the tiny cap below keeps evicting and recycling.
+	graphAt := func(i, round int) graph.Graph {
+		if i%2 == 0 {
+			return clusterGraph(t, n, round%n)
+		}
+		return clusterGraph(t, n, (round+i)%n)
+	}
+
+	br := core.NewBatchRunner(d, inputs)
+	br.SetPlanCacheCap(2)
+
+	// References: a dense runner and an agent configuration per run.
+	denseRuns := make([]*core.DenseRunner, B)
+	agentRuns := make([]*core.Config, B)
+	for i := 0; i < B; i++ {
+		denseRuns[i] = core.NewDenseRunner(d, inputs[i])
+		agentRuns[i] = core.NewConfig(alg, inputs[i])
+	}
+
+	checkRun := func(round, batchIdx, runID int) {
+		t.Helper()
+		out := make([]float64, n)
+		br.Outputs(batchIdx, out)
+		want := denseRuns[runID].Outputs()
+		for j := range want {
+			if math.Float64bits(out[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("round %d run %d agent %d: batch %v != dense %v", round, runID, j, out[j], want[j])
+			}
+		}
+		bfp, bok := br.AppendRunFingerprint(nil, batchIdx)
+		dfp, dok := core.AppendDenseFingerprint(d, denseRuns[runID].State(), nil)
+		afp, aok := agentRuns[runID].AppendFingerprint(nil)
+		if !bok || !dok || !aok {
+			t.Fatalf("round %d run %d: fingerprint unavailable (batch %v dense %v agents %v)", round, runID, bok, dok, aok)
+		}
+		if !bytes.Equal(bfp, dfp) || !bytes.Equal(bfp, afp) {
+			t.Fatalf("round %d run %d: fingerprints diverge across backends", round, runID)
+		}
+	}
+
+	// origin[b] maps the batch position to the original run identity
+	// across compaction.
+	gs := make([]graph.Graph, 0, B)
+	for round := 1; round <= rounds; round++ {
+		gs = gs[:0]
+		for b := 0; b < br.B(); b++ {
+			gs = append(gs, graphAt(br.Origin(b), round))
+		}
+		br.StepEach(gs)
+		for i := 0; i < B; i++ {
+			denseRuns[i].Step(graphAt(i, round))
+			agentRuns[i] = agentRuns[i].Step(graphAt(i, round))
+		}
+		for b := 0; b < br.B(); b++ {
+			checkRun(round, b, br.Origin(b))
+		}
+		if round == compactAt {
+			// Drop the decided even-index runs, as a deciding sweep
+			// would: survivors must keep stepping bit-identically from
+			// their compacted positions.
+			keep := make([]bool, br.B())
+			for b := range keep {
+				keep[b] = br.Origin(b)%2 == 1
+			}
+			if w := br.Compact(keep); w != B/2 {
+				t.Fatalf("Compact kept %d runs, want %d", w, B/2)
+			}
+		}
+	}
+
+	if _, misses, evicts, defers, entries := br.PlanCacheStats(); evicts == 0 || entries > 2 || misses+defers < uint64(rounds) {
+		t.Fatalf("workload was meant to thrash the 2-plan cache (misses=%d evicts=%d defers=%d entries=%d)", misses, evicts, defers, entries)
+	}
+}

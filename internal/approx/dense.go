@@ -96,7 +96,7 @@ func (d denseDecidingBatch) StepDenseBatch(dst, src *core.BatchState, plan *core
 	plan.WantHull, plan.HullDone = wantHull, false
 	last := dst.Planes() - 1
 	var view core.DenseState
-	for r := 0; r < dst.B(); r++ {
+	for _, r := range plan.Runs {
 		srcDec, dec := src.RunPlane(r, last), dst.RunPlane(r, last)
 		if dst.Round() != d.DecisionRound {
 			copy(dec, srcDec)

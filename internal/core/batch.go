@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/graph"
 )
@@ -130,30 +131,55 @@ func (st *BatchState) copyRun(dst, src int) {
 // so a stepper may compute the fold once at segment Fold and reuse it
 // here — sharing across non-adjacent equal masks, which the per-run
 // last-mask memo cannot see.
+//
+// Base/Delta factor a distinct fold (Fold == own index) over an earlier
+// one: when Base >= 0, Segs[Base] is an earlier distinct fold whose mask
+// is a strict subset of Mask, and Delta = Mask &^ Segs[Base].Mask is the
+// non-empty remainder. A stepper whose fold is an exact multiset
+// selection (min/max: fmin/fmax results do not depend on association
+// order, including the NaN and signed-zero cases) may extend the base
+// fold by Delta's bits instead of refolding the whole mask —
+// bit-identical, and on churn-style graphs (each down agent's mask is
+// the all-up mask plus its self bit) it turns O(n) refolds into O(1)
+// extensions. Order-sensitive folds (sums) must ignore Base and fold
+// Mask directly.
 type MaskSeg struct {
 	Start, End int
 	Mask       uint64
 	Fold       int
+	Base       int
+	Delta      uint64
 }
 
-// StepPlan is the per-round, run-independent precomputation of a batch
-// step under one shared graph: the receiver segmentation by in-mask.
-// F0 and F1 are per-segment fold scratch (one slot per segment) for
-// BatchStepper implementations; the plan owns them so batched steppers
-// stay allocation-free.
+// StepPlan is the run-independent precomputation of a batch step under
+// one graph: the receiver segmentation by in-mask. Plans are built once
+// per distinct graph and cached by the runner (keyed by the graph's raw
+// mask bytes), so a lasso schedule that revisits its graphs every loop
+// period re-steps through ready-made plans. F0 and F1 are per-segment
+// fold scratch (one slot per segment) for BatchStepper implementations;
+// the plan owns them so batched steppers stay allocation-free.
+//
+// Runs lists the batch run indices this plan steps in the current call —
+// the cluster of runs whose round graph this plan was built from.
+// Steppers iterate it instead of the full batch, so one StepEach round
+// with heterogeneous graphs is a handful of clustered calls rather than
+// a per-run fallback.
 //
 // WantHull asks the stepper to also report each run's post-step output
-// hull into HullLo/HullHi (one slot per run) and acknowledge by setting
-// HullDone. Steppers whose outputs are constant per segment fold the
-// hull over the segment values — bit-identical to scanning the output
-// vector, since min/max are exact selections over the same multiset —
-// for a fraction of the scan cost. Steppers that cannot (or choose not
-// to) leave HullDone false and the runner scans.
+// hull into HullLo/HullHi (one slot per run, indexed by the absolute run
+// index) and acknowledge by setting HullDone. Steppers whose outputs are
+// constant per segment fold the hull over the segment values —
+// bit-identical to scanning the output vector, since min/max are exact
+// selections over the same multiset — for a fraction of the scan cost.
+// Steppers that cannot (or choose not to) leave HullDone false and the
+// runner scans.
 type StepPlan struct {
 	G    graph.Graph
 	Segs []MaskSeg
 	F0   []float64
 	F1   []float64
+
+	Runs []int
 
 	WantHull bool
 	HullDone bool
@@ -173,13 +199,27 @@ func (p *StepPlan) build(g graph.Graph) {
 			end++
 		}
 		fold := len(p.Segs)
+		// While scanning for an equal mask, also track the widest earlier
+		// distinct fold whose mask is a strict subset of m: a base of one
+		// bit saves nothing (the extension costs one combine per delta
+		// bit), so only bases of two or more count.
+		base, baseBits := -1, 1
 		for i, s := range p.Segs {
 			if s.Mask == m {
 				fold = i
 				break
 			}
+			if s.Fold == i && s.Mask&^m == 0 {
+				if pc := bits.OnesCount64(s.Mask); pc > baseBits {
+					base, baseBits = i, pc
+				}
+			}
 		}
-		p.Segs = append(p.Segs, MaskSeg{Start: j, End: end, Mask: m, Fold: fold})
+		seg := MaskSeg{Start: j, End: end, Mask: m, Fold: fold, Base: -1}
+		if fold == len(p.Segs) && base >= 0 {
+			seg.Base, seg.Delta = base, m&^p.Segs[base].Mask
+		}
+		p.Segs = append(p.Segs, seg)
 		j = end
 	}
 	if cap(p.F0) < len(p.Segs) {
@@ -193,9 +233,12 @@ func (p *StepPlan) build(g graph.Graph) {
 // BatchStepper is an optional DenseAlgorithm capability: step every run
 // of a batch under one shared graph in a single call, using the plan's
 // receiver segmentation. Implementations must be bit-identical to
-// stepping each run's view with StepDense — same float operations in the
-// same order within each run; only run-independent bookkeeping (mask
-// scans, segment discovery) may be shared.
+// stepping each run's view with StepDense: every stored float must carry
+// the same bits. Beyond sharing run-independent bookkeeping (mask scans,
+// segment discovery), a stepper may also reassociate folds whose result
+// is an exact multiset selection (min/max), e.g. via MaskSeg.Base;
+// order-sensitive arithmetic (sums, averages) must keep StepDense's
+// operation order exactly.
 type BatchStepper interface {
 	StepDenseBatch(dst, src *BatchState, plan *StepPlan)
 }
@@ -215,17 +258,69 @@ func AsBatchStepper(alg Algorithm) (BatchStepper, bool) {
 	return nil, false
 }
 
+// planEntry is one cached StepPlan plus its cache bookkeeping: the
+// owned mask-byte key, the step stamp/slot that assign the entry to a
+// cluster during one clustered round, and the recycling state — refs
+// counts the per-run identity memos holding the entry, dead marks it
+// evicted. A dead entry parks in the runner's graveyard until no memo
+// references it, then its segment and fold-scratch storage is reused
+// for the next cache miss, so plan churn under many-distinct-graph
+// schedules is allocation-free in steady state.
+//
+// A first-sight entry starts pending: its key lives only in keyBytes
+// (a reusable buffer — no string is materialized) and its plan is not
+// yet built. Pending entries are admitted — built, string-keyed, and
+// inserted into the cache — only when the round shows the plan will be
+// shared (a multi-run cluster) or the doorkeeper shows the graph has
+// been seen before; otherwise the run steps through the per-run path
+// and the entry is returned to the free list untouched.
+type planEntry struct {
+	plan     StepPlan
+	key      string
+	keyBytes []byte
+	hash     uint64
+	mark     uint64
+	slot     int
+	refs     int
+	dead     bool
+}
+
+// planCluster is one distinct-graph cluster of a clustered round: the
+// plan to step with and the batch run indices stepping under it.
+type planCluster struct {
+	e    *planEntry
+	runs []int
+}
+
+// DefaultPlanCacheCap bounds a runner's step-plan cache: past it the
+// oldest plans are evicted FIFO, so hostile schedules with unboundedly
+// many distinct graphs rebuild plans instead of growing the cache. At
+// the default, a 64-agent worst case holds on the order of a megabyte.
+const DefaultPlanCacheCap = 512
+
 // BatchRunner executes B runs of one dense algorithm in lock-step with
 // double-buffered batch state: Step computes every run's successor into
-// the back buffer and swaps, allocating nothing after construction.
+// the back buffer and swaps, allocating nothing in steady state.
 // Decided runs can be dropped in place (Compact), and the whole batch
 // forked by copy (Fork) — the batch counterparts of DenseRunner's
 // step/fork surface.
+//
+// Rounds with per-run graphs (StepEach) are stepped clustered: runs are
+// grouped by graph identity — the raw mask bytes, with a constant-time
+// per-run fast path when a run replays the same graph.Graph value as
+// last round — and each cluster steps through one shared, cached
+// StepPlan. The plan cache is bounded (SetPlanCacheCap) and instrumented
+// (PlanCacheStats).
 type BatchRunner struct {
 	alg       DenseAlgorithm
 	bs        BatchStepper
 	cur, next *BatchState
-	plan      StepPlan
+	// hull is the per-call hull request relayed into the plans used by
+	// the round's clusters.
+	hull struct {
+		want   bool
+		lo, hi []float64
+	}
 	// viewsCur/viewsNext are persistent per-run views into cur/next,
 	// swapped alongside the buffers, so the per-run paths pay two round
 	// refreshes per step instead of rebuilding slice headers per use.
@@ -235,6 +330,33 @@ type BatchRunner struct {
 	viewsNext  []DenseState
 	origin     []int
 	outScratch []float64
+
+	// Plan cache: mask-byte key -> entry, FIFO-bounded, plus the pooled
+	// per-round clustering scratch. lastG/lastPlan are the per-run
+	// identity memo: run i stepping the same graph.Graph value as last
+	// round reuses its plan without touching the key buffer or the map.
+	// allRuns is the precomputed 0..B-1 subset for shared-graph rounds.
+	plans      map[string]*planEntry
+	planOrder  []*planEntry
+	planHead   int
+	planCap    int
+	planFree   []*planEntry
+	planDead   []*planEntry
+	planHits   uint64
+	planMisses uint64
+	planEvicts uint64
+	planDefers uint64
+	keyBuf     []byte
+	stepSeq    uint64
+	clusters   []planCluster
+	allRuns    []int
+	lastG      []graph.Graph
+	lastPlan   []*planEntry
+	// pending is the per-round list of first-sight entries awaiting the
+	// admission decision; doorkeeper is the direct-mapped table of
+	// recently seen graph hashes that grants admission on second sight.
+	pending    []*planEntry
+	doorkeeper []uint64
 }
 
 // NewBatchRunner builds a runner from per-run raw inputs (inputs[r] is
@@ -289,24 +411,260 @@ func (r *BatchRunner) ResetReplicated(alg DenseAlgorithm, st *DenseState, b int)
 }
 
 // reset shapes the buffers, rebuilds the persistent views, and resets
-// the origin map.
+// the origin map and the clustering state.
 func (r *BatchRunner) reset(alg DenseAlgorithm, b, n int) {
 	r.alg = alg
 	r.bs, _ = AsBatchStepper(alg)
 	if r.cur == nil {
 		r.cur, r.next = &BatchState{}, &BatchState{}
 	}
+	if r.cur.n != 0 && r.cur.n != n {
+		// Plans are keyed by mask bytes (node count implied by length),
+		// so stale-n plans can never be misapplied — but they would
+		// squat in the bounded cache, so drop them on reshape.
+		r.clearPlanCache()
+	}
 	r.cur.Resize(b, n, alg.DensePlanes())
 	r.next.Resize(b, n, alg.DensePlanes())
 	r.origin = r.origin[:0]
+	r.allRuns = r.allRuns[:0]
 	for i := 0; i < b; i++ {
 		r.origin = append(r.origin, i)
+		r.allRuns = append(r.allRuns, i)
 	}
+	r.releaseMemos()
+	if cap(r.lastG) < b {
+		r.lastG = make([]graph.Graph, b)
+		r.lastPlan = make([]*planEntry, b)
+	}
+	r.lastG = r.lastG[:b]
+	r.lastPlan = r.lastPlan[:b]
 	if cap(r.outScratch) < n {
 		r.outScratch = make([]float64, n)
 	}
 	r.outScratch = r.outScratch[:n]
 	r.buildViews()
+}
+
+// clearPlanCache drops every cached plan, the recycling pools, and the
+// per-run memos (the counters persist: they account the runner's
+// lifetime).
+func (r *BatchRunner) clearPlanCache() {
+	r.plans = nil
+	r.planOrder = r.planOrder[:0]
+	r.planHead = 0
+	for i := range r.planFree {
+		r.planFree[i] = nil
+	}
+	r.planFree = r.planFree[:0]
+	for i := range r.planDead {
+		r.planDead[i] = nil
+	}
+	r.planDead = r.planDead[:0]
+	for i := range r.doorkeeper {
+		r.doorkeeper[i] = 0
+	}
+	r.releaseMemos()
+}
+
+// releaseMemos clears every per-run plan memo, returning the refs the
+// memos held so dead entries become collectable.
+func (r *BatchRunner) releaseMemos() {
+	for i := range r.lastPlan {
+		if e := r.lastPlan[i]; e != nil {
+			e.refs--
+		}
+		r.lastG[i] = graph.Graph{}
+		r.lastPlan[i] = nil
+	}
+}
+
+// collectPlans moves graveyard entries no memo references any more to
+// the free list for reuse. It runs between rounds, so an entry still
+// clustered in the current round can never be rebuilt mid-round.
+func (r *BatchRunner) collectPlans() {
+	if len(r.planDead) == 0 {
+		return
+	}
+	w := 0
+	for _, e := range r.planDead {
+		if e.refs == 0 {
+			r.planFree = append(r.planFree, e)
+		} else {
+			r.planDead[w] = e
+			w++
+		}
+	}
+	for i := w; i < len(r.planDead); i++ {
+		r.planDead[i] = nil
+	}
+	r.planDead = r.planDead[:w]
+}
+
+// SetPlanCacheCap bounds the step-plan cache to at most n plans
+// (DefaultPlanCacheCap for n <= 0), evicting oldest-first immediately
+// when over the new cap.
+func (r *BatchRunner) SetPlanCacheCap(n int) {
+	if n <= 0 {
+		n = DefaultPlanCacheCap
+	}
+	r.planCap = n
+	r.evictPlans(0)
+}
+
+// PlanCacheStats returns the plan cache's lifetime accounting: hits
+// (per-run identity memo and key lookups served by an existing or
+// about-to-be-built plan), misses (plans built), evictions, deferrals
+// (first-sight single-run graphs stepped through the per-run path
+// without building a plan), and the current entry count — the batch
+// plane's counterpart of SweepCache.Stats, so benches can report plan
+// reuse rates.
+func (r *BatchRunner) PlanCacheStats() (hits, misses, evictions, deferrals uint64, entries int) {
+	return r.planHits, r.planMisses, r.planEvicts, r.planDefers, len(r.plans)
+}
+
+// lookupPlan returns the cached plan entry for g, building (and
+// inserting, evicting oldest past the cap) on miss — the shared-graph
+// path, where a plan always pays for itself across the whole batch.
+func (r *BatchRunner) lookupPlan(g graph.Graph) *planEntry {
+	r.initPlans()
+	r.keyBuf = g.AppendMaskKey(r.keyBuf[:0])
+	if e, ok := r.plans[string(r.keyBuf)]; ok {
+		r.planHits++
+		return e
+	}
+	e := r.takeEntry()
+	e.keyBytes = append(e.keyBytes[:0], r.keyBuf...)
+	e.hash = maskHash(g)
+	e.plan.G = g
+	r.admitPlan(e)
+	return e
+}
+
+// initPlans lazily readies the map and the cap.
+func (r *BatchRunner) initPlans() {
+	if r.plans == nil {
+		r.plans = make(map[string]*planEntry)
+	}
+	if r.planCap <= 0 {
+		r.planCap = DefaultPlanCacheCap
+	}
+}
+
+// takeEntry pops a recycled entry from the free list, or allocates.
+func (r *BatchRunner) takeEntry() *planEntry {
+	if k := len(r.planFree) - 1; k >= 0 {
+		e := r.planFree[k]
+		r.planFree[k] = nil
+		r.planFree = r.planFree[:k]
+		e.dead = false
+		return e
+	}
+	return &planEntry{}
+}
+
+// findPlan resolves g to a plan entry during a clustered round: the
+// cache itself, then the round's pending first-sight entries, then a
+// fresh pending entry holding g (plan unbuilt, key unmaterialized)
+// whose admission is decided after the whole round is clustered.
+func (r *BatchRunner) findPlan(g graph.Graph) *planEntry {
+	r.initPlans()
+	r.keyBuf = g.AppendMaskKey(r.keyBuf[:0])
+	if e, ok := r.plans[string(r.keyBuf)]; ok {
+		r.planHits++
+		return e
+	}
+	h := maskHash(g)
+	for _, e := range r.pending {
+		if e.hash == h && string(r.keyBuf) == string(e.keyBytes) {
+			r.planHits++
+			return e
+		}
+	}
+	e := r.takeEntry()
+	e.keyBytes = append(e.keyBytes[:0], r.keyBuf...)
+	e.hash = h
+	e.plan.G = g
+	r.pending = append(r.pending, e)
+	return e
+}
+
+// admitPlan builds a pending entry's plan and inserts it into the
+// cache, evicting oldest-first past the cap. Counts as the miss.
+func (r *BatchRunner) admitPlan(e *planEntry) {
+	r.planMisses++
+	e.key = string(e.keyBytes)
+	e.plan.build(e.plan.G)
+	r.evictPlans(1)
+	r.plans[e.key] = e
+	r.planOrder = append(r.planOrder, e)
+}
+
+// maskHash hashes the graph's in-mask rows (FNV-1a over words) for the
+// doorkeeper and for cheap pending-entry comparison.
+func maskHash(g graph.Graph) uint64 {
+	h := uint64(14695981039346656037)
+	for j, n := 0, g.N(); j < n; j++ {
+		h ^= g.InMask(j)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// doorkeeperSeen reports whether hash h was recorded recently. Each
+// hash has two candidate slots (low and high hash bits), so one aliased
+// neighbor does not forget it — and a forgotten graph is merely
+// deferred once more before admission.
+func (r *BatchRunner) doorkeeperSeen(h uint64) bool {
+	if len(r.doorkeeper) == 0 {
+		return false
+	}
+	mask := uint64(len(r.doorkeeper) - 1)
+	return r.doorkeeper[h&mask] == h || r.doorkeeper[(h>>32)&mask] == h
+}
+
+// doorkeeperRecord remembers hash h, sizing the table to the cache cap
+// on first use (power of two, several slots per cacheable plan). The
+// record prefers an empty or already-owned slot and otherwise overwrites
+// the low-bits one.
+func (r *BatchRunner) doorkeeperRecord(h uint64) {
+	if len(r.doorkeeper) == 0 {
+		size := 1
+		for size < 8*r.planCap {
+			size <<= 1
+		}
+		r.doorkeeper = make([]uint64, size)
+	}
+	mask := uint64(len(r.doorkeeper) - 1)
+	s1, s2 := h&mask, (h>>32)&mask
+	if r.doorkeeper[s1] == h || r.doorkeeper[s2] == h {
+		return
+	}
+	if r.doorkeeper[s1] != 0 && r.doorkeeper[s2] == 0 {
+		r.doorkeeper[s2] = h
+		return
+	}
+	r.doorkeeper[s1] = h
+}
+
+// evictPlans drops oldest plans until the cache fits planCap minus
+// room. Evicted entries stay valid for any cluster or per-run memo
+// still holding them this round — they just stop being shared — and
+// park in the graveyard until collectPlans recycles their storage.
+func (r *BatchRunner) evictPlans(room int) {
+	for len(r.plans)+room > r.planCap && r.planHead < len(r.planOrder) {
+		old := r.planOrder[r.planHead]
+		r.planOrder[r.planHead] = nil
+		r.planHead++
+		delete(r.plans, old.key)
+		old.dead = true
+		r.planDead = append(r.planDead, old)
+		r.planEvicts++
+	}
+	if r.planHead > len(r.planOrder)/2 {
+		r.planOrder = append(r.planOrder[:0], r.planOrder[r.planHead:]...)
+		r.planHead = 0
+	}
 }
 
 // buildViews (re)derives the persistent per-run views from the current
@@ -361,10 +719,10 @@ func (r *BatchRunner) prep(n int) {
 }
 
 // Step applies one round with the shared communication graph g to every
-// run: through the algorithm's BatchStepper when it has one (receiver
-// segmentation shared across runs), per-run views otherwise.
+// run: through the algorithm's BatchStepper when it has one (one cached
+// plan covering the whole batch), per-run views otherwise.
 func (r *BatchRunner) Step(g graph.Graph) {
-	r.plan.WantHull = false
+	r.hull.want = false
 	r.step(g)
 }
 
@@ -374,27 +732,46 @@ func (r *BatchRunner) Step(g graph.Graph) {
 // scanning the outputs otherwise. The hulls are bit-identical to
 // calling Hull(i) per run either way.
 func (r *BatchRunner) StepWithHulls(g graph.Graph, lo, hi []float64) {
-	r.plan.WantHull = true
-	r.plan.HullLo, r.plan.HullHi = lo, hi
-	r.step(g)
-	if !r.plan.HullDone {
+	r.hull.want = true
+	r.hull.lo, r.hull.hi = lo, hi
+	if !r.step(g) {
 		r.scanHulls(lo, hi)
 	}
-	r.plan.WantHull, r.plan.HullLo, r.plan.HullHi = false, nil, nil
+	r.hull.want, r.hull.lo, r.hull.hi = false, nil, nil
 }
 
-func (r *BatchRunner) step(g graph.Graph) {
+// step applies one shared-graph round and reports whether the stepper
+// delivered the requested hulls.
+func (r *BatchRunner) step(g graph.Graph) (hullDone bool) {
 	r.prep(g.N())
-	r.plan.HullDone = false
 	if r.bs != nil {
-		r.plan.build(g)
-		r.bs.StepDenseBatch(r.next, r.cur, &r.plan)
+		r.collectPlans()
+		hullDone = r.stepCluster(r.lookupPlan(g), r.allRuns)
 	} else {
 		for i := 0; i < r.cur.b; i++ {
 			r.stepRun(i, g)
 		}
 	}
 	r.swap()
+	return hullDone
+}
+
+// stepCluster steps the given run subset through e's plan, relaying the
+// round's hull request, and reports whether the stepper delivered the
+// hulls. The plan's per-call fields are cleared afterwards so cached
+// plans never retain caller arrays.
+func (r *BatchRunner) stepCluster(e *planEntry, runs []int) (hullDone bool) {
+	p := &e.plan
+	p.Runs = runs
+	p.WantHull = r.hull.want
+	p.HullLo, p.HullHi = r.hull.lo, r.hull.hi
+	p.HullDone = false
+	r.bs.StepDenseBatch(r.next, r.cur, p)
+	hullDone = p.HullDone
+	p.Runs = nil
+	p.WantHull, p.HullDone = false, false
+	p.HullLo, p.HullHi = nil, nil
+	return hullDone
 }
 
 // swap flips the double buffer and its view arrays.
@@ -410,54 +787,147 @@ func (r *BatchRunner) scanHulls(lo, hi []float64) {
 	}
 }
 
-// StepEach applies one round with per-run graphs (gs[i] drives run i).
-// When every run plays the same graph the shared-graph fast path is
-// taken, segmentation and all.
+// StepEach applies one round with per-run graphs (gs[i] drives run i),
+// clustered: runs sharing a graph share one cached plan, lasso loops
+// replaying a graph value reuse the run's last plan via the identity
+// memo, and a round in which every run plays the same graph degenerates
+// to exactly the shared-graph path — one cluster, one plan.
 func (r *BatchRunner) StepEach(gs []graph.Graph) {
-	r.plan.WantHull = false
+	r.hull.want = false
 	r.stepEach(gs)
 }
 
 // StepEachWithHulls is StepEach plus per-run output hulls, like
 // StepWithHulls.
 func (r *BatchRunner) StepEachWithHulls(gs []graph.Graph, lo, hi []float64) {
-	r.plan.WantHull = true
-	r.plan.HullLo, r.plan.HullHi = lo, hi
-	_, hullDone := r.stepEach(gs)
-	if !hullDone {
+	r.hull.want = true
+	r.hull.lo, r.hull.hi = lo, hi
+	if !r.stepEach(gs) {
 		r.scanHulls(lo, hi)
 	}
-	r.plan.WantHull, r.plan.HullLo, r.plan.HullHi = false, nil, nil
+	r.hull.want, r.hull.lo, r.hull.hi = false, nil, nil
 }
 
-func (r *BatchRunner) stepEach(gs []graph.Graph) (shared, hullDone bool) {
+// stepEach clusters the round's runs by graph identity and steps every
+// cluster through its shared plan. It reports whether hulls were
+// delivered for every run.
+func (r *BatchRunner) stepEach(gs []graph.Graph) (hullDone bool) {
 	if len(gs) != r.cur.b {
 		panic(fmt.Sprintf("core: %d graphs for a batch of %d runs", len(gs), r.cur.b))
 	}
-	shared = true
+	if r.bs == nil {
+		r.StepRuns(gs)
+		return false
+	}
+	r.prep(gs[0].N())
 	for i := 1; i < len(gs); i++ {
-		if !gs[i].Equal(gs[0]) {
-			shared = false
-			break
+		if gs[i].N() != r.cur.n {
+			panic(fmt.Sprintf("core: graph on %d nodes applied to batch of %d agents", gs[i].N(), r.cur.n))
 		}
 	}
-	if shared {
-		r.step(gs[0])
-		return true, r.plan.HullDone
+	// Assign each run its plan — constant-time when the run replays the
+	// same graph value as last round — and bucket runs into clusters via
+	// the entries' step stamps. Cluster slots (and their run slices) are
+	// pooled across rounds, so steady-state clustering allocates nothing.
+	r.stepSeq++
+	r.collectPlans()
+	clusters := r.clusters[:0]
+	for i, g := range gs {
+		e := r.lastPlan[i]
+		if e == nil || !g.Same(r.lastG[i]) {
+			ne := r.findPlan(g)
+			if e != nil {
+				e.refs--
+			}
+			ne.refs++
+			r.lastG[i], r.lastPlan[i] = g, ne
+			e = ne
+		} else {
+			r.planHits++
+		}
+		if e.mark != r.stepSeq {
+			e.mark = r.stepSeq
+			e.slot = len(clusters)
+			if len(clusters) == cap(clusters) {
+				clusters = append(clusters, planCluster{})
+			} else {
+				clusters = clusters[:len(clusters)+1]
+			}
+			c := &clusters[e.slot]
+			c.e = e
+			c.runs = c.runs[:0]
+		}
+		c := &clusters[e.slot]
+		c.runs = append(c.runs, i)
 	}
-	r.StepRuns(gs)
-	return false, false
+	// Admission: a first-sight graph gets a built, cached plan only if
+	// several runs share it this round or the doorkeeper has seen it
+	// before (a lasso or epoch revisiting its graph). A transient
+	// singleton — the common case under high-diversity schedules, where
+	// every plan would be built once and thrown away — is deferred: its
+	// run steps through the per-run views (bit-identical by the
+	// BatchStepper contract) and no key string, map traffic, or plan
+	// build happens at all.
+	for _, e := range r.pending {
+		c := &clusters[e.slot]
+		if len(c.runs) > 1 || r.doorkeeperSeen(e.hash) {
+			r.admitPlan(e)
+			continue
+		}
+		r.doorkeeperRecord(e.hash)
+		r.planDefers++
+		i := c.runs[0]
+		e.refs--
+		r.lastPlan[i] = nil
+		c.e = nil
+		if e.refs == 0 {
+			r.planFree = append(r.planFree, e)
+		} else {
+			e.dead = true
+			r.planDead = append(r.planDead, e)
+		}
+	}
+	for i := range r.pending {
+		r.pending[i] = nil
+	}
+	r.pending = r.pending[:0]
+	hullDone = true
+	for ci := range clusters {
+		c := &clusters[ci]
+		if c.e == nil {
+			// Deferred singleton: step through the per-run views and,
+			// when hulls were requested, scan this run's outputs right
+			// here — the same OutputsDense+Hull sequence the post-swap
+			// scan would run, so the round's hull delivery stays intact
+			// for the clustered runs.
+			i := c.runs[0]
+			r.stepRun(i, gs[i])
+			if r.hull.want {
+				r.alg.OutputsDense(&r.viewsNext[i], r.outScratch)
+				r.hull.lo[i], r.hull.hi[i] = Hull(r.outScratch)
+			}
+			continue
+		}
+		if !r.stepCluster(c.e, c.runs) {
+			hullDone = false
+		}
+		c.e = nil
+	}
+	r.clusters = clusters[:0]
+	r.swap()
+	return hullDone
 }
 
-// StepRuns applies one round with per-run graphs, without the
-// shared-graph detection of StepEach — for callers that know the graphs
-// differ (a settle fan-out repeating a different model graph per run).
+// StepRuns applies one round with per-run graphs through the per-run
+// views, without clustering — the generic path for algorithms with no
+// BatchStepper, and for callers that know the graphs are distinct and
+// transient (a settle fan-out repeating a different model graph per
+// run).
 func (r *BatchRunner) StepRuns(gs []graph.Graph) {
 	if len(gs) != r.cur.b {
 		panic(fmt.Sprintf("core: %d graphs for a batch of %d runs", len(gs), r.cur.b))
 	}
 	r.prep(gs[0].N())
-	r.plan.HullDone = false
 	for i := 0; i < r.cur.b; i++ {
 		if gs[i].N() != r.cur.n {
 			panic(fmt.Sprintf("core: graph on %d nodes applied to batch of %d agents", gs[i].N(), r.cur.n))
@@ -517,13 +987,28 @@ func (r *BatchRunner) Compact(keep []bool) int {
 	w := 0
 	for i := 0; i < r.cur.b; i++ {
 		if !keep[i] {
+			// The dropped run's memo reference goes with it.
+			if e := r.lastPlan[i]; e != nil {
+				e.refs--
+			}
 			continue
 		}
 		r.cur.copyRun(w, i)
 		r.origin[w] = r.origin[i]
+		// The plan identity memo travels with the run, so a surviving
+		// run keeps its last-round plan at its new position.
+		r.lastG[w] = r.lastG[i]
+		r.lastPlan[w] = r.lastPlan[i]
 		w++
 	}
 	r.origin = r.origin[:w]
+	for i := w; i < r.cur.b; i++ {
+		r.lastG[i] = graph.Graph{}
+		r.lastPlan[i] = nil
+	}
+	r.lastG = r.lastG[:w]
+	r.lastPlan = r.lastPlan[:w]
+	r.allRuns = r.allRuns[:w]
 	r.cur.b = w
 	r.cur.Y = r.cur.Y[:w*r.cur.n]
 	r.cur.Aux = r.cur.Aux[:w*r.cur.planes*r.cur.n]
@@ -535,13 +1020,20 @@ func (r *BatchRunner) Compact(keep []bool) int {
 }
 
 // Fork returns an independent copy of the runner, the batch counterpart
-// of DenseRunner.Fork.
+// of DenseRunner.Fork. The fork starts with an empty plan cache of its
+// own — cached plans are mutated per step (cluster stamps, run subsets),
+// so sharing them across runners would race under concurrent stepping.
 func (r *BatchRunner) Fork() *BatchRunner {
-	f := &BatchRunner{alg: r.alg, bs: r.bs, cur: &BatchState{}, next: &BatchState{}}
+	f := &BatchRunner{alg: r.alg, bs: r.bs, cur: &BatchState{}, next: &BatchState{}, planCap: r.planCap}
 	f.cur.CopyFrom(r.cur)
 	f.next.Resize(r.cur.b, r.cur.n, r.cur.planes)
 	f.origin = append([]int(nil), r.origin...)
+	f.allRuns = append([]int(nil), r.allRuns...)
+	f.lastG = make([]graph.Graph, r.cur.b)
+	f.lastPlan = make([]*planEntry, r.cur.b)
 	f.outScratch = make([]float64, r.cur.n)
 	f.buildViews()
 	return f
 }
+
+

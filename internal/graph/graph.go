@@ -18,6 +18,7 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -301,6 +302,28 @@ func (g Graph) Equal(h Graph) bool {
 		}
 	}
 	return true
+}
+
+// Same reports whether g and h share the same backing mask storage — a
+// constant-time identity test, strictly stronger than Equal. Schedules
+// replay the same Graph value round after round (a lasso loop plays one
+// value per loop slot), so Same lets per-round consumers — the batch
+// plane's plan cache, the trace codec's dedup table — skip re-keying a
+// graph they just keyed, without ever confusing two distinct graphs.
+func (g Graph) Same(h Graph) bool {
+	return g.n == h.n && len(g.in) > 0 && len(h.in) > 0 && &g.in[0] == &h.in[0]
+}
+
+// AppendMaskKey appends the graph's raw little-endian mask rows to dst —
+// the cheap canonical byte identity (the representation the trace codec
+// dedups on, an order of magnitude cheaper than the formatted Key).
+// Equal graphs produce equal bytes; the node count is implied by the
+// length (8 bytes per node).
+func (g Graph) AppendMaskKey(dst []byte) []byte {
+	for _, m := range g.in {
+		dst = binary.LittleEndian.AppendUint64(dst, m)
+	}
+	return dst
 }
 
 // Key returns a compact canonical string identifying the graph, suitable

@@ -56,24 +56,32 @@ func Encode(n int, prefix, loop []graph.Graph) []byte {
 	// loop. The dedup key is the raw little-endian mask row — cheaper by
 	// an order of magnitude than graph.Key()'s formatted string, which
 	// matters because encoding (and therefore fingerprinting) sits on
-	// the session-construction path of scenario sweeps.
+	// the session-construction path of scenario sweeps. Schedules hold
+	// one Graph value per round and epoch-style generators repeat it for
+	// whole stretches, so a constant-time identity check against the
+	// previous round (graph.Same) skips the keying entirely on the
+	// common consecutive-repeat case.
 	table := make([]graph.Graph, 0, 8)
 	index := make(map[string]int, 8)
 	keyBuf := make([]byte, 0, n*8)
+	var prev graph.Graph
+	prevIdx := -1
 	lookup := func(g graph.Graph) int {
 		if g.N() != n {
 			panic(fmt.Sprintf("scenario: graph on %d nodes in schedule of %d agents", g.N(), n))
 		}
-		keyBuf = keyBuf[:0]
-		for i := 0; i < n; i++ {
-			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, g.InMask(i))
+		if prevIdx >= 0 && g.Same(prev) {
+			return prevIdx
 		}
-		if i, ok := index[string(keyBuf)]; ok {
-			return i
+		keyBuf = g.AppendMaskKey(keyBuf[:0])
+		i, ok := index[string(keyBuf)]
+		if !ok {
+			i = len(table)
+			index[string(keyBuf)] = i
+			table = append(table, g)
 		}
-		index[string(keyBuf)] = len(table)
-		table = append(table, g)
-		return len(table) - 1
+		prev, prevIdx = g, i
+		return i
 	}
 	prefixIdx := make([]int, len(prefix))
 	for i, g := range prefix {
