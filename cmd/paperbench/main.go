@@ -59,7 +59,9 @@ func run(args []string, out io.Writer) error {
 	benchN := fs.Int("benchn", 5, "with -bench: samples per benchmark (median reported)")
 	benchSpecs := fs.Int("benchspecs", 64, "with -bench: specs per sweep")
 	benchRounds := fs.Int("benchrounds", 1000, "with -bench: rounds per run")
+	largenRounds := fs.Int("benchlargenrounds", 200, "with -bench: rounds per large-n kernel sample (0 disables the large-n series)")
 	backend := consensus.BackendFlag(fs)
+	batchPar := consensus.BatchParallelismFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,9 +71,12 @@ func run(args []string, out io.Writer) error {
 	if err := backend.Install(); err != nil {
 		return err
 	}
+	if err := batchPar.Install(); err != nil {
+		return err
+	}
 
 	if *bench {
-		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, string(backend.Value()))
+		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, *largenRounds, string(backend.Value()))
 	}
 
 	if *list {
@@ -144,6 +149,11 @@ type benchReport struct {
 	// a new graph every round and the plan cache is pure churn — the
 	// worst case for clustered stepping.
 	ScenarioDiverseSpeedup float64 `json:"scenario_diverse_speedup_batch_vs_single"`
+	// Parallel is the large-n kernel series: the raw batch kernel at
+	// n=64 (the bitmask-adjacency ceiling), B=1024, stepped at every
+	// worker count of the machine's series — the intra-step parallelism
+	// trajectory alongside the batch-vs-single ratios above.
+	Parallel *parallelReport `json:"parallel,omitempty"`
 }
 
 // benchEntry is one measured configuration.
@@ -158,9 +168,9 @@ type benchEntry struct {
 // benchRounds rounds over deaf(K16) midpoint, inputs varied per spec)
 // and the scenario grid (benchSpecs churn schedules, one per seed, so
 // every batched run follows its own per-round graph sequence).
-func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, backend string) error {
-	if samples < 1 || specCount < 1 || rounds < 0 {
-		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d", samples, specCount, rounds)
+func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largenRounds int, backend string) error {
+	if samples < 1 || specCount < 1 || rounds < 0 || largenRounds < 0 {
+		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d largen=%d", samples, specCount, rounds, largenRounds)
 	}
 	modelSpecs := make([]consensus.RunSpec, specCount)
 	for i := range modelSpecs {
@@ -251,7 +261,7 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 		return float64(specCount) / (float64(ns) / 1e9)
 	}
 	report := benchReport{
-		Schema:      "repro-bench/v2",
+		Schema:      "repro-bench/v3",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -279,6 +289,13 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds int, ba
 	}
 	if diverseBatchNs > 0 {
 		report.ScenarioDiverseSpeedup = float64(diverseSingleNs) / float64(diverseBatchNs)
+	}
+	if largenRounds > 0 {
+		par, err := benchLargeN(out, samples, largenRounds, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return err
+		}
+		report.Parallel = par
 	}
 	fmt.Fprintf(out, "sweep/single             %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
 	fmt.Fprintf(out, "sweep/batch              %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))

@@ -14,7 +14,8 @@ import (
 func TestRunBenchJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var sb strings.Builder
-	args := []string{"-bench", "-benchn", "1", "-benchspecs", "8", "-benchrounds", "50", "-json", path}
+	args := []string{"-bench", "-benchn", "1", "-benchspecs", "8", "-benchrounds", "50",
+		"-benchlargenrounds", "5", "-json", path}
 	if err := run(args, &sb); err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +39,20 @@ func TestRunBenchJSON(t *testing.T) {
 		SweepSpeedup           float64 `json:"sweep_speedup_batch_vs_single"`
 		ScenarioSpeedup        float64 `json:"scenario_speedup_batch_vs_single"`
 		ScenarioDiverseSpeedup float64 `json:"scenario_diverse_speedup_batch_vs_single"`
+		Parallel               *struct {
+			N      int `json:"n"`
+			Batch  int `json:"batch"`
+			Series []struct {
+				Workload string `json:"workload"`
+				Workers  int    `json:"workers"`
+				MedianNs int64  `json:"median_ns"`
+			} `json:"series"`
+		} `json:"parallel"`
 	}
 	if err := json.Unmarshal(body, &report); err != nil {
 		t.Fatalf("bad JSON artifact: %v\n%s", err, body)
 	}
-	if report.Schema != "repro-bench/v2" || report.Specs != 8 || report.Rounds != 50 {
+	if report.Schema != "repro-bench/v3" || report.Specs != 8 || report.Rounds != 50 {
 		t.Errorf("artifact parameters wrong: %+v", report)
 	}
 	if report.GOMAXPROCS < 1 {
@@ -67,6 +77,27 @@ func TestRunBenchJSON(t *testing.T) {
 	if report.SweepSpeedup <= 0 || report.ScenarioSpeedup <= 0 || report.ScenarioDiverseSpeedup <= 0 {
 		t.Errorf("non-positive speedup %v / %v / %v",
 			report.SweepSpeedup, report.ScenarioSpeedup, report.ScenarioDiverseSpeedup)
+	}
+	if report.Parallel == nil {
+		t.Fatal("artifact missing the parallel large-n section")
+	}
+	if report.Parallel.N != 64 || report.Parallel.Batch != 1024 {
+		t.Errorf("large-n section has n=%d B=%d, want 64/1024", report.Parallel.N, report.Parallel.Batch)
+	}
+	// One entry per workload per worker count, sequential always present.
+	seen := map[string]bool{}
+	for _, e := range report.Parallel.Series {
+		if e.MedianNs <= 0 {
+			t.Errorf("series entry %s w=%d has non-positive median", e.Workload, e.Workers)
+		}
+		if e.Workers == 1 {
+			seen[e.Workload] = true
+		}
+	}
+	for _, w := range []string{"largen-step/amortized", "largen-stepeach/churn"} {
+		if !seen[w] {
+			t.Errorf("series missing sequential entry for %s: %+v", w, report.Parallel.Series)
+		}
 	}
 }
 

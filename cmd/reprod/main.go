@@ -62,10 +62,14 @@ func run(args []string, out io.Writer) error {
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query computation budget")
 	cacheSize := fs.Int("cache", 1024, "response cache entries (0 disables)")
 	backend := consensus.BackendFlag(fs)
+	batchPar := consensus.BatchParallelismFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := backend.Install(); err != nil {
+		return err
+	}
+	if err := batchPar.Install(); err != nil {
 		return err
 	}
 
@@ -79,8 +83,8 @@ func run(args []string, out io.Writer) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(out, "reprod: serving on %s (backend %s, query timeout %s)\n",
-		*addr, backend.Value(), *queryTimeout)
+	fmt.Fprintf(out, "reprod: serving on %s (backend %s, batch parallelism %d, query timeout %s)\n",
+		*addr, backend.Value(), batchPar.Value(), *queryTimeout)
 
 	select {
 	case err := <-errCh:

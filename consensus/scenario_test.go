@@ -129,12 +129,14 @@ func TestScenarioSweepBatchParity(t *testing.T) {
 	assertSweepBatchParity(t, specs)
 }
 
-// assertSweepBatchParity sweeps specs through the batched path and the
+// assertSweepBatchParity sweeps specs through the batched path (with
+// any extra sweep options, e.g. SweepBatchParallelism) and the
 // per-session path and requires bit-identical summaries.
-func assertSweepBatchParity(t *testing.T, specs []RunSpec) {
+func assertSweepBatchParity(t *testing.T, specs []RunSpec, batchOpts ...SweepOption) {
 	t.Helper()
 	ctx := context.Background()
-	batched, err := Sweep(ctx, specs, WithSweepCache(NewSweepCache()))
+	opts := append([]SweepOption{WithSweepCache(NewSweepCache())}, batchOpts...)
+	batched, err := Sweep(ctx, specs, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +247,45 @@ func TestScenarioSweepBatchParityBlended(t *testing.T) {
 		specs = append(specs, RunSpec{Scenario: spec, Algorithm: "midpoint", Rounds: rounds})
 	}
 	assertSweepBatchParity(t, specs)
+}
+
+// TestScenarioSweepBatchParityParallel exercises the intra-step
+// parallel path through the public sweep surface: the same blended
+// shared/per-run schedule mix as the Blended parity test, swept with
+// SweepBatchParallelism at several levels (including workers above the
+// tile sizes), plus the session-level WithBatchParallelism carrier via
+// the process default. Summaries must stay bit-identical to the
+// sequential per-session path at every level.
+func TestScenarioSweepBatchParityParallel(t *testing.T) {
+	const rounds = 40
+	shared, err := Scenarios.New("churn:16,5,5,8,4", ScenarioEnv{Models: Models, Scenarios: Scenarios})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedTrace := "trace:" + EncodeTraceString(shared)
+	var specs []RunSpec
+	for i := 0; i < 48; i++ {
+		var spec string
+		switch i % 4 {
+		case 0:
+			spec = "churn:16,5,5,8,4"
+		case 1:
+			spec = sharedTrace
+		default:
+			spec = fmt.Sprintf("churn:16,%d,5,8,4", 300+i)
+		}
+		specs = append(specs, RunSpec{Scenario: spec, Algorithm: "midpoint", Rounds: rounds})
+	}
+	for _, par := range []int{2, 3, 17} {
+		t.Run(fmt.Sprintf("par%d", par), func(t *testing.T) {
+			assertSweepBatchParity(t, specs, SweepBatchParallelism(par))
+		})
+	}
+	t.Run("process-default", func(t *testing.T) {
+		prev := SetProcessBatchParallelism(3)
+		defer SetProcessBatchParallelism(prev)
+		assertSweepBatchParity(t, specs)
+	})
 }
 
 // TestScenarioSweepBatchParityCacheOverflow runs schedules whose joint

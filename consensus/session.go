@@ -40,6 +40,7 @@ type sessionConfig struct {
 	seed          int64
 	depth         int
 	backend       Backend
+	batchPar      int
 	floor         bool
 	trace         bool
 }
@@ -122,6 +123,23 @@ func WithBackend(b Backend) Option {
 	}
 }
 
+// WithBatchParallelism pins the intra-step worker count used when this
+// session's configuration executes on the batch plane (sweep tiles and
+// batched scenario grids): n >= 1 shards each batch round across n
+// workers (1 = sequential stepping), n == 0 — the default — inherits
+// the process default (REPRO_BATCH_PARALLELISM /
+// SetProcessBatchParallelism). Outputs are byte-identical at every
+// setting; single-run Run/Rounds executions are unaffected.
+func WithBatchParallelism(n int) Option {
+	return func(c *sessionConfig) error {
+		if n < 0 {
+			return fmt.Errorf("consensus: negative batch parallelism %d", n)
+		}
+		c.batchPar = n
+		return nil
+	}
+}
+
 // WithValencyFloor makes Rounds snapshots carry the certified valency
 // diameter floor δ(C_t) of every visited configuration, computed at the
 // session depth on the session's shared engine. Requires a model.
@@ -177,6 +195,7 @@ type Session struct {
 	seed      int64
 	depth     int
 	backend   Backend
+	batchPar  int
 	floor     bool
 	trace     bool
 	engine    *valency.Engine
@@ -248,6 +267,7 @@ func New(opts ...Option) (*Session, error) {
 		seed:      cfg.seed,
 		depth:     cfg.depth,
 		backend:   cfg.backend,
+		batchPar:  cfg.batchPar,
 		floor:     cfg.floor,
 		trace:     cfg.trace,
 	}

@@ -269,6 +269,11 @@ type sweepConfig struct {
 	lib      *Library
 	batch    int
 	cacheCap int
+	// batchPar is the raw SweepBatchParallelism setting (0 inherit the
+	// process default, < 0 auto, >= 1 pinned); intra is its resolved
+	// per-tile worker count.
+	batchPar int
+	intra    int
 
 	// scenMemo shares resolved schedules across the sweep's specs:
 	// schedules are immutable and content-addressed, so a grid of one
@@ -357,6 +362,25 @@ func SweepBatchSize(n int) SweepOption {
 	return func(c *sweepConfig) { c.batch = n }
 }
 
+// SweepBatchParallelism sets the intra-step worker count of every
+// batch tile: n >= 1 pins it (1 = sequential tiles), n <= 0 selects
+// auto (GOMAXPROCS); without the option tiles inherit the process
+// default (REPRO_BATCH_PARALLELISM / SetProcessBatchParallelism).
+// When the resolved count exceeds 1, the sweep divides its worker
+// budget between the two layers — tile-level workers shrink to about
+// workers/n — so tile fan-out times intra-tile stepping stays near the
+// machine size instead of oversubscribing it (the shared step pool
+// bounds the whole process as a backstop). Results are byte-identical
+// at every setting.
+func SweepBatchParallelism(n int) SweepOption {
+	return func(c *sweepConfig) {
+		if n <= 0 {
+			n = -1
+		}
+		c.batchPar = n
+	}
+}
+
 // SweepCacheCapacity bounds the entry count of the sweep's cache,
 // evicting oldest-first past the cap. With WithSweepCache it re-bounds
 // that cache (the bound persists on it); without, the sweep uses a
@@ -395,6 +419,24 @@ func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepRe
 	}
 	if cfg.workers > len(specs) {
 		cfg.workers = len(specs)
+	}
+	// Resolve the intra-tile worker count and split the budget: with
+	// n-way stepping inside each tile, about workers/n tile-level
+	// workers keep total parallelism near the configured budget.
+	switch {
+	case cfg.batchPar >= 1:
+		cfg.intra = cfg.batchPar
+	case cfg.batchPar < 0:
+		cfg.intra = runtime.GOMAXPROCS(0)
+	default:
+		cfg.intra = core.DefaultBatchParallelism()
+	}
+	execWorkers := cfg.workers
+	if cfg.intra > 1 {
+		execWorkers = cfg.workers / cfg.intra
+		if execWorkers < 1 {
+			execWorkers = 1
+		}
 	}
 	switch {
 	case cfg.cache != nil && cfg.cacheCap > 0:
@@ -446,8 +488,10 @@ func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepRe
 		})
 		// Split large tiles so one tile cannot serialize the pool: at
 		// most cfg.batch runs per tile, and at least one tile per
-		// worker when the group is large enough.
-		tile := (len(group) + cfg.workers - 1) / cfg.workers
+		// tile-level worker when the group is large enough (intra-tile
+		// parallelism shrinks that layer, leaving larger tiles for the
+		// in-step workers to shard).
+		tile := (len(group) + execWorkers - 1) / execWorkers
 		if tile > cfg.batch {
 			tile = cfg.batch
 		}
@@ -465,7 +509,7 @@ func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepRe
 	}
 
 	// Phase 3: execute the units over the worker pool.
-	runParallel(cfg.workers, len(units), func(u int) {
+	runParallel(execWorkers, len(units), func(u int) {
 		if len(units[u]) == 1 {
 			units[u][0].runSingle(ctx, &cfg)
 		} else {
@@ -692,6 +736,17 @@ func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 		inputs[i] = t.session.inputs
 	}
 	br := core.NewBatchRunner(d, inputs)
+	// Intra-tile parallelism: the sweep-resolved count, raised by any
+	// session in the tile that pinned a higher one via
+	// WithBatchParallelism (parallel stepping is bit-identical, so
+	// raising it for tile-mates only trades latency).
+	par := cfg.intra
+	for _, t := range tile {
+		if p := t.session.batchPar; p > par {
+			par = p
+		}
+	}
+	br.SetParallelism(par)
 	// Scenario sweeps revisit graphs heavily (lassos, churn epochs, and
 	// generators drawing from small graph populations), so size the plan
 	// cache by a byte budget instead of the flat default: small-n plans

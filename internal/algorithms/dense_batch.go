@@ -55,26 +55,36 @@ func (h *hullAcc) commit(plan *core.StepPlan, r int) {
 	plan.HullLo[r], plan.HullHi[r] = h.lo, h.hi
 }
 
+// FoldShardable implements core.FoldShardCapable: the midpoint folds
+// are exact min/max selections, so a segment shard may recompute an
+// out-of-shard fold from its mask with the same resulting bits.
+func (Midpoint) FoldShardable() bool { return true }
+
 // StepDenseBatch implements core.BatchStepper. Distinct folds carrying a
 // subset base (MaskSeg.Base) extend the base fold by the delta bits — an
 // exact multiset selection, so the midpoint bits match the full refold.
+// The segment loop honors plan.SegRange: fold reuse and subset-delta
+// extension apply when the referenced fold lies in the shard, and
+// anything owned before the shard is refolded from its mask —
+// bit-identical either way.
 func (Midpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	los, his := plan.F0, plan.F1
+	segLo, segHi := plan.SegRange()
 	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
 		var hull hullAcc
-		for si := range plan.Segs {
+		for si := segLo; si < segHi; si++ {
 			seg := &plan.Segs[si]
 			var lo, hi float64
-			if seg.Fold == si {
-				if seg.Base >= 0 {
-					lo, hi = foldMinMaxDelta(y, seg.Delta, los[seg.Base], his[seg.Base])
-				} else {
-					lo, hi = foldMinMax(y, seg.Mask)
-				}
-				los[si], his[si] = lo, hi
-			} else {
+			switch {
+			case seg.Fold != si && seg.Fold >= segLo:
 				lo, hi = los[seg.Fold], his[seg.Fold]
+			case seg.Fold == si && seg.Base >= segLo:
+				lo, hi = foldMinMaxDelta(y, seg.Delta, los[seg.Base], his[seg.Base])
+				los[si], his[si] = lo, hi
+			default:
+				lo, hi = foldMinMax(y, seg.Mask)
+				los[si], his[si] = lo, hi
 			}
 			mid := (lo + hi) / 2
 			if plan.WantHull {
@@ -120,24 +130,29 @@ func (Mean) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	plan.HullDone = plan.WantHull
 }
 
-// StepDenseBatch implements core.BatchStepper.
+// FoldShardable implements core.FoldShardCapable (see Midpoint).
+func (QuantizedMidpoint) FoldShardable() bool { return true }
+
+// StepDenseBatch implements core.BatchStepper, honoring plan.SegRange
+// like Midpoint.
 func (a QuantizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	los, his := plan.F0, plan.F1
+	segLo, segHi := plan.SegRange()
 	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
 		var hull hullAcc
-		for si := range plan.Segs {
+		for si := segLo; si < segHi; si++ {
 			seg := &plan.Segs[si]
 			var lo, hi float64
-			if seg.Fold == si {
-				if seg.Base >= 0 {
-					lo, hi = foldMinMaxDelta(y, seg.Delta, los[seg.Base], his[seg.Base])
-				} else {
-					lo, hi = foldMinMax(y, seg.Mask)
-				}
-				los[si], his[si] = lo, hi
-			} else {
+			switch {
+			case seg.Fold != si && seg.Fold >= segLo:
 				lo, hi = los[seg.Fold], his[seg.Fold]
+			case seg.Fold == si && seg.Base >= segLo:
+				lo, hi = foldMinMaxDelta(y, seg.Delta, los[seg.Base], his[seg.Base])
+				los[si], his[si] = lo, hi
+			default:
+				lo, hi = foldMinMax(y, seg.Mask)
+				los[si], his[si] = lo, hi
 			}
 			snapped := math.Floor((lo+hi)/(2*a.Q)) * a.Q
 			if plan.WantHull {
@@ -154,30 +169,37 @@ func (a QuantizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.
 	plan.HullDone = plan.WantHull
 }
 
-// StepDenseBatch implements core.BatchStepper.
+// FoldShardable implements core.FoldShardCapable: the interval fold is
+// a pair of exact min/max selections, so segment shards stay
+// bit-transparent (see Midpoint).
+func (AmortizedMidpoint) FoldShardable() bool { return true }
+
+// StepDenseBatch implements core.BatchStepper, honoring plan.SegRange
+// like Midpoint.
 func (AmortizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 	n := src.N()
 	phase := amortizedPhase(n)
 	phaseEnd := dst.Round()%phase == 0
 	los, his := plan.F0, plan.F1
+	segLo, segHi := plan.SegRange()
 	for _, r := range plan.Runs {
 		y := src.RunY(r)
 		lo0, hi0 := src.RunPlane(r, amortizedPlaneLo), src.RunPlane(r, amortizedPlaneHi)
 		oy := dst.RunY(r)
 		olo, ohi := dst.RunPlane(r, amortizedPlaneLo), dst.RunPlane(r, amortizedPlaneHi)
 		var hull hullAcc
-		for si := range plan.Segs {
+		for si := segLo; si < segHi; si++ {
 			seg := &plan.Segs[si]
 			var lo, hi float64
-			if seg.Fold == si {
-				if seg.Base >= 0 {
-					lo, hi = foldIntervalDelta(lo0, hi0, seg.Delta, los[seg.Base], his[seg.Base])
-				} else {
-					lo, hi = foldInterval(lo0, hi0, seg.Mask)
-				}
-				los[si], his[si] = lo, hi
-			} else {
+			switch {
+			case seg.Fold != si && seg.Fold >= segLo:
 				lo, hi = los[seg.Fold], his[seg.Fold]
+			case seg.Fold == si && seg.Base >= segLo:
+				lo, hi = foldIntervalDelta(lo0, hi0, seg.Delta, los[seg.Base], his[seg.Base])
+				los[si], his[si] = lo, hi
+			default:
+				lo, hi = foldInterval(lo0, hi0, seg.Mask)
+				los[si], his[si] = lo, hi
 			}
 			if phaseEnd {
 				mid := (lo + hi) / 2

@@ -31,6 +31,14 @@ func randomBatchGraph(rng *rand.Rand, n int) graph.Graph {
 // fingerprints run by run, round by round.
 func batchParityCheck(t *testing.T, alg core.Algorithm, n, b, rounds int, rng *rand.Rand, perRunGraphs bool) {
 	t.Helper()
+	batchParityCheckPar(t, alg, n, b, rounds, rng, perRunGraphs, 1)
+}
+
+// batchParityCheckPar is batchParityCheck with the batch runner's
+// intra-step parallelism pinned to par workers; the single runners stay
+// the sequential reference, so any par proves parallel == sequential.
+func batchParityCheckPar(t *testing.T, alg core.Algorithm, n, b, rounds int, rng *rand.Rand, perRunGraphs bool, par int) {
+	t.Helper()
 	d, ok := core.AsDense(alg)
 	if !ok {
 		t.Fatalf("%s does not implement the dense backend", alg.Name())
@@ -43,6 +51,7 @@ func batchParityCheck(t *testing.T, alg core.Algorithm, n, b, rounds int, rng *r
 		}
 	}
 	batch := core.NewBatchRunner(d, inputs)
+	batch.SetParallelism(par)
 	singles := make([]*core.DenseRunner, b)
 	for r := range singles {
 		singles[r] = core.NewDenseRunner(d, inputs[r])

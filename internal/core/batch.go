@@ -181,10 +181,25 @@ type StepPlan struct {
 
 	Runs []int
 
+	// SegLo/SegHi bound the segment range this call must step — set
+	// only on fold shards handed to FoldShardCapable steppers. The zero
+	// value means the full segmentation (SegRange).
+	SegLo, SegHi int
+
 	WantHull bool
 	HullDone bool
 	HullLo   []float64
 	HullHi   []float64
+}
+
+// SegRange returns the segment range the stepper must cover in this
+// call: the fold-shard bounds when the runner set them, the full
+// segmentation otherwise.
+func (p *StepPlan) SegRange() (lo, hi int) {
+	if p.SegHi == 0 {
+		return 0, len(p.Segs)
+	}
+	return p.SegLo, p.SegHi
 }
 
 // build computes the segmentation of g.
@@ -357,6 +372,15 @@ type BatchRunner struct {
 	// recently seen graph hashes that grants admission on second sight.
 	pending    []*planEntry
 	doorkeeper []uint64
+
+	// Intra-step parallelism (parallel.go): par is the configured worker
+	// count (0 = inherit the process default), segOK whether the stepper
+	// may be fold-sharded, job the pooled per-round task list, and arena
+	// the coordinator's own executor scratch.
+	par   int
+	segOK bool
+	job   stepJob
+	arena stepArena
 }
 
 // NewBatchRunner builds a runner from per-run raw inputs (inputs[r] is
@@ -415,6 +439,10 @@ func (r *BatchRunner) ResetReplicated(alg DenseAlgorithm, st *DenseState, b int)
 func (r *BatchRunner) reset(alg DenseAlgorithm, b, n int) {
 	r.alg = alg
 	r.bs, _ = AsBatchStepper(alg)
+	r.segOK = false
+	if fs, ok := r.bs.(FoldShardCapable); ok {
+		r.segOK = fs.FoldShardable()
+	}
 	if r.cur == nil {
 		r.cur, r.next = &BatchState{}, &BatchState{}
 	}
@@ -744,10 +772,23 @@ func (r *BatchRunner) StepWithHulls(g graph.Graph, lo, hi []float64) {
 // delivered the requested hulls.
 func (r *BatchRunner) step(g graph.Graph) (hullDone bool) {
 	r.prep(g.N())
-	if r.bs != nil {
+	par := r.Parallelism()
+	switch {
+	case r.bs != nil && par > 1 && (r.cur.b > 1 || r.segOK):
+		r.collectPlans()
+		e := r.lookupPlan(g)
+		r.beginTasks(nil, g, r.hull.want)
+		r.addClusterTasks(e, r.allRuns, par, len(r.allRuns))
+		r.expandSegShards(par)
+		hullDone = r.runTasks(par)
+	case r.bs != nil:
 		r.collectPlans()
 		hullDone = r.stepCluster(r.lookupPlan(g), r.allRuns)
-	} else {
+	case par > 1 && r.cur.b > 1:
+		r.beginTasks(nil, g, r.hull.want)
+		r.addRunShards(r.allRuns, par)
+		hullDone = r.runTasks(par)
+	default:
 		for i := 0; i < r.cur.b; i++ {
 			r.stepRun(i, g)
 		}
@@ -892,26 +933,45 @@ func (r *BatchRunner) stepEach(gs []graph.Graph) (hullDone bool) {
 	}
 	r.pending = r.pending[:0]
 	hullDone = true
-	for ci := range clusters {
-		c := &clusters[ci]
-		if c.e == nil {
-			// Deferred singleton: step through the per-run views and,
-			// when hulls were requested, scan this run's outputs right
-			// here — the same OutputsDense+Hull sequence the post-swap
-			// scan would run, so the round's hull delivery stays intact
-			// for the clustered runs.
-			i := c.runs[0]
-			r.stepRun(i, gs[i])
-			if r.hull.want {
-				r.alg.OutputsDense(&r.viewsNext[i], r.outScratch)
-				r.hull.lo[i], r.hull.hi[i] = Hull(r.outScratch)
+	if par := r.Parallelism(); par > 1 && (r.cur.b > 1 || r.segOK) {
+		// Parallel round: shard the clusters (then, if the budget is not
+		// filled, their segment ranges) into tasks and fan out. The
+		// clustering and admission above stay coordinator-only, so the
+		// plan cache is never touched concurrently.
+		r.beginTasks(gs, graph.Graph{}, r.hull.want)
+		for ci := range clusters {
+			c := &clusters[ci]
+			if c.e == nil {
+				r.job.tasks = append(r.job.tasks, stepTask{runs: c.runs})
+			} else {
+				r.addClusterTasks(c.e, c.runs, par, r.cur.b)
 			}
-			continue
+			c.e = nil
 		}
-		if !r.stepCluster(c.e, c.runs) {
-			hullDone = false
+		r.expandSegShards(par)
+		hullDone = r.runTasks(par)
+	} else {
+		for ci := range clusters {
+			c := &clusters[ci]
+			if c.e == nil {
+				// Deferred singleton: step through the per-run views and,
+				// when hulls were requested, scan this run's outputs right
+				// here — the same OutputsDense+Hull sequence the post-swap
+				// scan would run, so the round's hull delivery stays intact
+				// for the clustered runs.
+				i := c.runs[0]
+				r.stepRun(i, gs[i])
+				if r.hull.want {
+					r.alg.OutputsDense(&r.viewsNext[i], r.outScratch)
+					r.hull.lo[i], r.hull.hi[i] = Hull(r.outScratch)
+				}
+				continue
+			}
+			if !r.stepCluster(c.e, c.runs) {
+				hullDone = false
+			}
+			c.e = nil
 		}
-		c.e = nil
 	}
 	r.clusters = clusters[:0]
 	r.swap()
@@ -932,7 +992,15 @@ func (r *BatchRunner) StepRuns(gs []graph.Graph) {
 		if gs[i].N() != r.cur.n {
 			panic(fmt.Sprintf("core: graph on %d nodes applied to batch of %d agents", gs[i].N(), r.cur.n))
 		}
-		r.stepRun(i, gs[i])
+	}
+	if par := r.Parallelism(); par > 1 && r.cur.b > 1 {
+		r.beginTasks(gs, graph.Graph{}, false)
+		r.addRunShards(r.allRuns, par)
+		r.runTasks(par)
+	} else {
+		for i := 0; i < r.cur.b; i++ {
+			r.stepRun(i, gs[i])
+		}
 	}
 	r.swap()
 }
@@ -1024,7 +1092,8 @@ func (r *BatchRunner) Compact(keep []bool) int {
 // own — cached plans are mutated per step (cluster stamps, run subsets),
 // so sharing them across runners would race under concurrent stepping.
 func (r *BatchRunner) Fork() *BatchRunner {
-	f := &BatchRunner{alg: r.alg, bs: r.bs, cur: &BatchState{}, next: &BatchState{}, planCap: r.planCap}
+	f := &BatchRunner{alg: r.alg, bs: r.bs, cur: &BatchState{}, next: &BatchState{}, planCap: r.planCap,
+		par: r.par, segOK: r.segOK}
 	f.cur.CopyFrom(r.cur)
 	f.next.Resize(r.cur.b, r.cur.n, r.cur.planes)
 	f.origin = append([]int(nil), r.origin...)
