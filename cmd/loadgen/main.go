@@ -1,0 +1,126 @@
+// Command loadgen replays a recorded sweep request stream against a
+// coordinator (or a single-process reprod server — the request shape is
+// shared) at a time-compression factor, measuring sustained request
+// throughput and latency percentiles.
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:9090 -stream sweeps.jsonl -speed 50
+//	loadgen -target URL -synthetic 200 -repeat 0.6 -record sweeps.jsonl
+//
+// Streams are JSONL, one {"at_ms": N, "request": {"specs": [...]}} per
+// line. -synthetic N generates a deterministic N-request mixed
+// model/scenario stream instead of reading one; -record writes the
+// generated stream out for later replays. 429 rejections honor
+// Retry-After and retry; the report counts them separately.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/consensus/distributed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	target := fs.String("target", "http://127.0.0.1:9090", "coordinator (or server) base URL")
+	streamPath := fs.String("stream", "", "JSONL request stream to replay")
+	synthetic := fs.Int("synthetic", 0, "generate an N-request synthetic stream instead of -stream")
+	specsPer := fs.Int("specs", 8, "synthetic: specs per request")
+	repeat := fs.Float64("repeat", 0.5, "synthetic: fraction of repeated specs (the store-hit knob)")
+	intervalMS := fs.Int64("interval", 100, "synthetic: mean recorded gap between requests, ms")
+	seed := fs.Int64("seed", 1, "synthetic: stream seed")
+	record := fs.String("record", "", "write the (synthetic) stream to this path before replaying")
+	speed := fs.Float64("speed", 10, "time-compression factor (10 = 10x faster than recorded)")
+	concurrency := fs.Int("concurrency", 8, "max in-flight requests")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall replay budget")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON (progress lines move to stderr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// With -json, stdout carries only the report so it pipes into jq.
+	progress := out
+	if *jsonOut {
+		progress = os.Stderr
+	}
+
+	var entries []distributed.StreamEntry
+	switch {
+	case *synthetic > 0:
+		entries = distributed.SyntheticStream(distributed.SyntheticOptions{
+			Requests:        *synthetic,
+			SpecsPerRequest: *specsPer,
+			RepeatFraction:  *repeat,
+			IntervalMS:      *intervalMS,
+			Seed:            *seed,
+		})
+	case *streamPath != "":
+		f, err := os.Open(*streamPath)
+		if err != nil {
+			return err
+		}
+		var rerr error
+		entries, rerr = distributed.ReadStream(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	default:
+		return fmt.Errorf("need -stream FILE or -synthetic N")
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		werr := distributed.WriteStream(f, entries)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(progress, "loadgen: recorded %d requests to %s\n", len(entries), *record)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	fmt.Fprintf(progress, "loadgen: replaying %d requests against %s at %gx\n", len(entries), *target, *speed)
+	rep, err := distributed.Replay(ctx, *target, entries, distributed.ReplayOptions{
+		Speed:       *speed,
+		Concurrency: *concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(out, "loadgen: %d ok, %d errors, %d rejected (429) in %dms\n",
+		rep.Requests-rep.Errors, rep.Errors, rep.Rejected, rep.ElapsedMS)
+	fmt.Fprintf(out, "loadgen: %.1f req/s over %d specs\n", rep.ReqPerSec, rep.Specs)
+	fmt.Fprintf(out, "loadgen: latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms\n",
+		rep.LatencyP50MS, rep.LatencyP95MS, rep.LatencyP99MS, rep.LatencyMaxMS)
+	return nil
+}

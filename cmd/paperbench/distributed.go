@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/consensus/distributed"
+)
+
+// distReport is the distributed throughput series in the bench
+// artifact: one synthetic sweep request stream replayed through an
+// in-process coordinator/worker cluster at 1 and 2 workers, then
+// replayed a second time against the warm content-addressed store.
+type distReport struct {
+	Requests        int         `json:"requests"`
+	SpecsPerRequest int         `json:"specs_per_request"`
+	RepeatFraction  float64     `json:"repeat_fraction"`
+	Rounds          int         `json:"rounds"`
+	Series          []distEntry `json:"series"`
+}
+
+// distEntry is one worker-count measurement: the cold replay, then the
+// identical stream again — resubmission must be pure store hits, so
+// ResubmitShards (shards dispatched during the second replay) is the
+// zero-recompute check in machine-readable form.
+type distEntry struct {
+	Workers      int     `json:"workers"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	StoreHitRate float64 `json:"store_hit_rate"`
+	SpecsServed  uint64  `json:"specs_served"`
+	FromStore    uint64  `json:"specs_from_store"`
+	Computed     uint64  `json:"specs_computed"`
+	Shards       uint64  `json:"shards_dispatched"`
+
+	ResubmitReqPerSec    float64 `json:"resubmit_req_per_sec"`
+	ResubmitLatencyP99MS float64 `json:"resubmit_latency_p99_ms"`
+	ResubmitStoreRate    float64 `json:"resubmit_store_hit_rate"`
+	ResubmitShards       uint64  `json:"resubmit_shards_dispatched"`
+}
+
+// benchDistributed measures the coordinator/worker path. The stream is
+// deterministic (fixed seed), so the 1- and 2-worker series replay
+// identical requests and their ratios mean something.
+func benchDistributed(out io.Writer, requests, specsPer, rounds int) (*distReport, error) {
+	entries := distributed.SyntheticStream(distributed.SyntheticOptions{
+		Requests:        requests,
+		SpecsPerRequest: specsPer,
+		RepeatFraction:  0.5,
+		IntervalMS:      20,
+		Seed:            1,
+	})
+	// Clamp rounds so the series stays a throughput measurement, not a
+	// long simulation.
+	for i := range entries {
+		for j := range entries[i].Request.Specs {
+			if entries[i].Request.Specs[j].Rounds > rounds {
+				entries[i].Request.Specs[j].Rounds = rounds
+			}
+		}
+	}
+	rep := &distReport{
+		Requests:        requests,
+		SpecsPerRequest: specsPer,
+		RepeatFraction:  0.5,
+		Rounds:          rounds,
+	}
+	for _, workers := range []int{1, 2} {
+		entry, err := benchCluster(workers, entries)
+		if err != nil {
+			return nil, err
+		}
+		rep.Series = append(rep.Series, *entry)
+		fmt.Fprintf(out, "distributed/%dw            %8.1f req/s  p99 %6.1f ms  store hit rate %.2f (resubmit %.2f, +%d shards)\n",
+			workers, entry.ReqPerSec, entry.LatencyP99MS, entry.StoreHitRate,
+			entry.ResubmitStoreRate, entry.ResubmitShards)
+	}
+	return rep, nil
+}
+
+// benchCluster replays the stream cold, then warm, against a fresh
+// cluster of the given size.
+func benchCluster(workers int, entries []distributed.StreamEntry) (*distEntry, error) {
+	lc, err := distributed.StartLocal(workers,
+		[]distributed.CoordinatorOption{
+			distributed.CoordinatorQueueCapacity(256),
+			distributed.CoordinatorHealthInterval(0),
+		},
+		nil)
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	cold, err := distributed.Replay(ctx, lc.BaseURL, entries, distributed.ReplayOptions{
+		Speed: 50, Concurrency: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := lc.Coordinator.Status()
+	entry := &distEntry{
+		Workers:      workers,
+		ReqPerSec:    cold.ReqPerSec,
+		LatencyP50MS: cold.LatencyP50MS,
+		LatencyP99MS: cold.LatencyP99MS,
+		StoreHitRate: st.StoreHitRate,
+		SpecsServed:  st.SpecsServed,
+		FromStore:    st.SpecsFromStore,
+		Computed:     st.SpecsComputed,
+		Shards:       st.ShardsDispatched,
+	}
+	if cold.Errors > 0 {
+		return nil, fmt.Errorf("distributed bench (%d workers): %d cold replay errors", workers, cold.Errors)
+	}
+
+	warm, err := distributed.Replay(ctx, lc.BaseURL, entries, distributed.ReplayOptions{
+		Speed: 50, Concurrency: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if warm.Errors > 0 {
+		return nil, fmt.Errorf("distributed bench (%d workers): %d warm replay errors", workers, warm.Errors)
+	}
+	st2 := lc.Coordinator.Status()
+	entry.ResubmitReqPerSec = warm.ReqPerSec
+	entry.ResubmitLatencyP99MS = warm.LatencyP99MS
+	entry.ResubmitShards = st2.ShardsDispatched - entry.Shards
+	if served := st2.SpecsServed - entry.SpecsServed; served > 0 {
+		entry.ResubmitStoreRate = float64(st2.SpecsFromStore-entry.FromStore) / float64(served)
+	}
+	return entry, nil
+}

@@ -21,8 +21,10 @@
 //	                            a 64-scenario grid (per-run schedules in
 //	                            one batch)
 //	paperbench -bench -json F   additionally write the results as JSON to F
-//	                            (committed as BENCH_PR5.json and uploaded
-//	                            as a CI artifact)
+//	                            (committed as BENCH_PR8.json and uploaded
+//	                            as a CI artifact); the distributed series
+//	                            spins an in-process coordinator/worker
+//	                            cluster at 1 and 2 workers
 package main
 
 import (
@@ -60,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	benchSpecs := fs.Int("benchspecs", 64, "with -bench: specs per sweep")
 	benchRounds := fs.Int("benchrounds", 1000, "with -bench: rounds per run")
 	largenRounds := fs.Int("benchlargenrounds", 200, "with -bench: rounds per large-n kernel sample (0 disables the large-n series)")
+	distRequests := fs.Int("benchdist", 24, "with -bench: requests in the distributed series (0 disables it)")
 	backend := consensus.BackendFlag(fs)
 	batchPar := consensus.BatchParallelismFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *bench {
-		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, *largenRounds, string(backend.Value()))
+		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, *largenRounds, *distRequests, string(backend.Value()))
 	}
 
 	if *list {
@@ -114,7 +117,7 @@ func run(args []string, out io.Writer) error {
 }
 
 // benchReport is the machine-readable benchmark artifact (committed as
-// BENCH_PR6.json and uploaded by CI): the batch-plane sweep against
+// BENCH_PR8.json and uploaded by CI): the batch-plane sweep against
 // PR 3's goroutine-per-run sweep, on the shared-model workload and on
 // two scenario grids with per-run schedules (long churn epochs, and
 // every-round churn for maximal graph diversity), medians over the
@@ -154,6 +157,12 @@ type benchReport struct {
 	// worker count of the machine's series — the intra-step parallelism
 	// trajectory alongside the batch-vs-single ratios above.
 	Parallel *parallelReport `json:"parallel,omitempty"`
+	// Distributed is the coordinator/worker series: a deterministic
+	// synthetic request stream replayed through an in-process cluster at
+	// 1 and 2 workers, cold then warm — request throughput, tail
+	// latency, store hit rates, and the zero-recompute resubmission
+	// check.
+	Distributed *distReport `json:"distributed,omitempty"`
 }
 
 // benchEntry is one measured configuration.
@@ -168,9 +177,9 @@ type benchEntry struct {
 // benchRounds rounds over deaf(K16) midpoint, inputs varied per spec)
 // and the scenario grid (benchSpecs churn schedules, one per seed, so
 // every batched run follows its own per-round graph sequence).
-func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largenRounds int, backend string) error {
-	if samples < 1 || specCount < 1 || rounds < 0 || largenRounds < 0 {
-		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d largen=%d", samples, specCount, rounds, largenRounds)
+func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largenRounds, distRequests int, backend string) error {
+	if samples < 1 || specCount < 1 || rounds < 0 || largenRounds < 0 || distRequests < 0 {
+		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d largen=%d dist=%d", samples, specCount, rounds, largenRounds, distRequests)
 	}
 	modelSpecs := make([]consensus.RunSpec, specCount)
 	for i := range modelSpecs {
@@ -261,7 +270,7 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largen
 		return float64(specCount) / (float64(ns) / 1e9)
 	}
 	report := benchReport{
-		Schema:      "repro-bench/v3",
+		Schema:      "repro-bench/v4",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -296,6 +305,13 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largen
 			return err
 		}
 		report.Parallel = par
+	}
+	if distRequests > 0 {
+		dist, err := benchDistributed(out, distRequests, 6, 25)
+		if err != nil {
+			return err
+		}
+		report.Distributed = dist
 	}
 	fmt.Fprintf(out, "sweep/single             %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
 	fmt.Fprintf(out, "sweep/batch              %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))

@@ -15,7 +15,7 @@ func TestRunBenchJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var sb strings.Builder
 	args := []string{"-bench", "-benchn", "1", "-benchspecs", "8", "-benchrounds", "50",
-		"-benchlargenrounds", "5", "-json", path}
+		"-benchlargenrounds", "5", "-benchdist", "4", "-json", path}
 	if err := run(args, &sb); err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +48,21 @@ func TestRunBenchJSON(t *testing.T) {
 				MedianNs int64  `json:"median_ns"`
 			} `json:"series"`
 		} `json:"parallel"`
+		Distributed *struct {
+			Requests int `json:"requests"`
+			Series   []struct {
+				Workers        int     `json:"workers"`
+				ReqPerSec      float64 `json:"req_per_sec"`
+				LatencyP99MS   float64 `json:"latency_p99_ms"`
+				ResubmitRate   float64 `json:"resubmit_store_hit_rate"`
+				ResubmitShards uint64  `json:"resubmit_shards_dispatched"`
+			} `json:"series"`
+		} `json:"distributed"`
 	}
 	if err := json.Unmarshal(body, &report); err != nil {
 		t.Fatalf("bad JSON artifact: %v\n%s", err, body)
 	}
-	if report.Schema != "repro-bench/v3" || report.Specs != 8 || report.Rounds != 50 {
+	if report.Schema != "repro-bench/v4" || report.Specs != 8 || report.Rounds != 50 {
 		t.Errorf("artifact parameters wrong: %+v", report)
 	}
 	if report.GOMAXPROCS < 1 {
@@ -97,6 +107,24 @@ func TestRunBenchJSON(t *testing.T) {
 	for _, w := range []string{"largen-step/amortized", "largen-stepeach/churn"} {
 		if !seen[w] {
 			t.Errorf("series missing sequential entry for %s: %+v", w, report.Parallel.Series)
+		}
+	}
+	if report.Distributed == nil {
+		t.Fatal("artifact missing the distributed section")
+	}
+	if report.Distributed.Requests != 4 || len(report.Distributed.Series) != 2 {
+		t.Fatalf("distributed section wrong: %+v", report.Distributed)
+	}
+	for _, e := range report.Distributed.Series {
+		if e.Workers < 1 || e.Workers > 2 || e.ReqPerSec <= 0 || e.LatencyP99MS <= 0 {
+			t.Errorf("distributed entry malformed: %+v", e)
+		}
+		// Resubmitting the identical stream must recompute nothing.
+		if e.ResubmitShards != 0 {
+			t.Errorf("%d-worker resubmission dispatched %d shards, want 0", e.Workers, e.ResubmitShards)
+		}
+		if e.ResubmitRate < 0.95 {
+			t.Errorf("%d-worker resubmission store hit rate %.2f, want >= 0.95", e.Workers, e.ResubmitRate)
 		}
 	}
 }

@@ -1,7 +1,10 @@
 // Command reprod serves the public consensus facade as a long-lived JSON
 // query server: runs, sweeps, solvability and valency analysis,
 // asynchronous crash-fault simulations, and the paper-reproduction
-// experiments, with per-query timeouts and a response cache.
+// experiments, with per-query timeouts and a response cache. It also
+// hosts both halves of the distributed sweep service (package
+// repro/consensus/distributed): -worker adds the shard-execution
+// endpoint, -coordinator serves the fan-out side instead.
 //
 // Usage:
 //
@@ -9,34 +12,52 @@
 //	reprod -addr 127.0.0.1:9090     choose the listen address
 //	reprod -query-timeout 10s       bound each query's computation
 //	reprod -backend agents          force the reference execution backend
+//	reprod -drain-timeout 10s       shutdown drain budget (then in-flight
+//	                                queries are context-cancelled)
 //
-// Endpoints (see package repro/consensus for the payloads):
+//	reprod -worker                  serve the worker surface (adds POST /api/v1/shard)
+//	reprod -worker -announce URL    ...and register with the coordinator at URL
+//	reprod -coordinator -workers http://h1:8081,http://h2:8081
+//	                                serve the coordinator, pinning two workers
+//
+// Endpoints (see packages repro/consensus and repro/consensus/distributed
+// for the payloads):
 //
 //	GET  /healthz
+//	GET  /api/v1/status
 //	GET  /api/v1/registry
 //	POST /api/v1/run
 //	POST /api/v1/sweep
+//	POST /api/v1/shard            (-worker)
+//	POST /api/v1/sweep/stream     (-coordinator, SSE)
+//	POST /api/v1/workers          (-coordinator)
 //	GET  /api/v1/solvability?model=SPEC
 //	POST /api/v1/valency
 //	POST /api/v1/decision
 //	POST /api/v1/async
+//	POST /api/v1/scenario
 //	GET  /api/v1/experiments
 //	POST /api/v1/experiment
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/consensus"
+	"repro/consensus/distributed"
 )
 
 func main() {
@@ -61,10 +82,28 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query computation budget")
 	cacheSize := fs.Int("cache", 1024, "response cache entries (0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second,
+		"shutdown drain budget; past it in-flight queries are context-cancelled")
+
+	worker := fs.Bool("worker", false, "serve the distributed worker surface (adds POST /api/v1/shard)")
+	announce := fs.String("announce", "", "worker: coordinator base URL to register with at startup")
+	selfURL := fs.String("self", "", "worker: own base URL to announce (default derived from -addr)")
+
+	coordinator := fs.Bool("coordinator", false, "serve the distributed coordinator instead of the query server")
+	workerList := fs.String("workers", "", "coordinator: comma-separated worker base URLs to pin")
+	shardSpecs := fs.Int("shard-specs", distributed.DefaultShardSpecs, "coordinator: specs per shard")
+	queueCap := fs.Int("queue-cap", distributed.DefaultQueueCapacity,
+		"coordinator: admitted-shard queue bound (full queue answers 429)")
+	shardRetries := fs.Int("shard-retries", distributed.DefaultShardAttempts,
+		"coordinator: attempts per shard (reroutes across workers)")
+
 	backend := consensus.BackendFlag(fs)
 	batchPar := consensus.BatchParallelismFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker && *coordinator {
+		return fmt.Errorf("-worker and -coordinator are mutually exclusive")
 	}
 	if err := backend.Install(); err != nil {
 		return err
@@ -73,29 +112,160 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Build the mode's handler and its startup/shutdown reporting.
+	var (
+		handler    http.Handler
+		mode       string
+		cacheLine  func() string
+		coord      *distributed.Coordinator
+		workerSide *distributed.Worker
+	)
+	switch {
+	case *coordinator:
+		var urls []string
+		for _, u := range strings.Split(*workerList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord = distributed.NewCoordinator(
+			distributed.CoordinatorWorkers(urls...),
+			distributed.CoordinatorShardSpecs(*shardSpecs),
+			distributed.CoordinatorQueueCapacity(*queueCap),
+			distributed.CoordinatorRetry(*shardRetries, distributed.DefaultRetryBase),
+			distributed.CoordinatorShardTimeout(*queryTimeout),
+		)
+		defer coord.Close()
+		handler = coord
+		mode = fmt.Sprintf("coordinator (%d workers pinned, shard specs %d, queue cap %d)",
+			coord.WorkerCount(), *shardSpecs, *queueCap)
+		cacheLine = func() string {
+			st := coord.Status()
+			return fmt.Sprintf("result store %d/%d entries (%d hits, %d misses, %d evictions)",
+				st.Store.Entries, st.Store.Capacity, st.Store.Hits, st.Store.Misses, st.Store.Evictions)
+		}
+	case *worker:
+		workerSide = distributed.NewWorker(distributed.WorkerTimeout(*queryTimeout))
+		handler = workerSide
+		mode = "worker"
+		cacheLine = func() string {
+			sc := workerSide.SweepCacheCounters()
+			return fmt.Sprintf("sweep cache %d/%d entries (%d hits, %d misses, %d evictions)",
+				sc.Entries, sc.Capacity, sc.Hits, sc.Misses, sc.Evictions)
+		}
+	default:
+		qs := newServer(*queryTimeout, *cacheSize)
+		handler = qs
+		mode = "server"
+		cacheLine = func() string {
+			st := qs.Status()
+			return fmt.Sprintf("response cache %d/%d entries, sweep cache %d/%d entries (hit rate %.2f)",
+				st.ResponseCache.Entries, st.ResponseCache.Capacity,
+				st.SweepCache.Entries, st.SweepCache.Capacity, st.SweepHitRate)
+		}
+	}
+
+	// Every request context derives from baseCtx so an expired drain can
+	// cancel whatever is still computing.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(*queryTimeout, *cacheSize),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(out, "reprod: serving on %s (backend %s, batch parallelism %d, query timeout %s)\n",
-		*addr, backend.Value(), batchPar.Value(), *queryTimeout)
+	fmt.Fprintf(out, "reprod: serving %s on %s (backend %s, batch parallelism %d, query timeout %s)\n",
+		mode, *addr, backend.Value(), batchPar.Value(), *queryTimeout)
+	fmt.Fprintf(out, "reprod: %s\n", cacheLine())
+
+	if *worker && *announce != "" {
+		self := *selfURL
+		if self == "" {
+			self = deriveSelfURL(*addr)
+		}
+		go func() {
+			if err := announceWorker(ctx, *announce, self); err != nil {
+				fmt.Fprintf(out, "reprod: announce to %s failed: %v\n", *announce, err)
+			} else {
+				fmt.Fprintf(out, "reprod: registered %s with coordinator %s\n", self, *announce)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+		// Drain budget spent: cancel in-flight query contexts, then
+		// force-close the remaining connections.
+		cancelBase()
+		_ = srv.Close()
+		fmt.Fprintf(out, "reprod: drain timed out after %s, in-flight queries cancelled\n", *drainTimeout)
+		return nil
 	}
+	fmt.Fprintf(out, "reprod: %s\n", cacheLine())
 	fmt.Fprintln(out, "reprod: shut down")
 	return nil
+}
+
+// deriveSelfURL guesses the worker's announceable URL from its listen
+// address; -self overrides when the guess is wrong (e.g. multi-host).
+func deriveSelfURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// announceWorker registers self with the coordinator, retrying briefly
+// so worker-before-coordinator startup order still converges.
+func announceWorker(ctx context.Context, coordURL, self string) error {
+	body, err := json.Marshal(distributed.RegisterRequest{URL: self})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(time.Duration(attempt) * 500 * time.Millisecond)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimRight(coordURL, "/")+"/api/v1/workers", bytes.NewReader(body))
+		if rerr != nil {
+			return rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, rerr := http.DefaultClient.Do(req)
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("coordinator answered %s", resp.Status)
+	}
+	return lastErr
 }

@@ -1,0 +1,78 @@
+package distributed
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// LocalCluster is an in-process fleet on loopback listeners: one
+// coordinator plus N workers, each behind a real http.Server — the
+// harness behind the CI smoke job, the paperbench distributed series,
+// and the error-path tests. Unlike httptest it is importable from
+// non-test code.
+type LocalCluster struct {
+	Coordinator *Coordinator
+	Workers     []*Worker
+
+	// BaseURL is the coordinator's http://127.0.0.1:port root.
+	BaseURL string
+	// WorkerURLs are the workers' roots, index-aligned with Workers.
+	WorkerURLs []string
+
+	servers []*http.Server
+}
+
+// StartLocal starts nWorkers workers and a coordinator wired to them.
+// Worker options apply to every worker. Call Close when done.
+func StartLocal(nWorkers int, copts []CoordinatorOption, wopts []WorkerOption) (*LocalCluster, error) {
+	if nWorkers < 1 {
+		return nil, fmt.Errorf("distributed: local cluster needs at least one worker")
+	}
+	lc := &LocalCluster{}
+	for i := 0; i < nWorkers; i++ {
+		w := NewWorker(wopts...)
+		url, err := lc.serve(w)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.Workers = append(lc.Workers, w)
+		lc.WorkerURLs = append(lc.WorkerURLs, url)
+	}
+	lc.Coordinator = NewCoordinator(append(copts, CoordinatorWorkers(lc.WorkerURLs...))...)
+	url, err := lc.serve(lc.Coordinator)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.BaseURL = url
+	return lc, nil
+}
+
+// serve binds handler to a fresh loopback port and serves it.
+func (lc *LocalCluster) serve(h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h}
+	lc.servers = append(lc.servers, srv)
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close shuts the cluster down: coordinator health loop first, then
+// every listener (coordinator included), draining briefly.
+func (lc *LocalCluster) Close() {
+	if lc.Coordinator != nil {
+		lc.Coordinator.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, srv := range lc.servers {
+		_ = srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,165 @@
+package distributed
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/consensus"
+)
+
+// DefaultMaxShardSpecs bounds the specs one shard request may carry.
+// The coordinator's default shard size is far below it; the worker-side
+// bound exists so a hostile or misconfigured coordinator cannot pin a
+// worker with one giant shard.
+const DefaultMaxShardSpecs = 1024
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*workerConfig)
+
+type workerConfig struct {
+	lib           *consensus.Library
+	cache         *consensus.SweepCache
+	timeout       time.Duration
+	maxShardSpecs int
+	serverOpts    []consensus.ServerOption
+}
+
+// WorkerLibrary resolves every shard spec against lib.
+func WorkerLibrary(lib *consensus.Library) WorkerOption {
+	return func(c *workerConfig) { c.lib = lib }
+}
+
+// WorkerSweepCache uses the given sweep cache for shard execution (and
+// the embedded server's sweep endpoint) instead of a fresh one.
+func WorkerSweepCache(cache *consensus.SweepCache) WorkerOption {
+	return func(c *workerConfig) { c.cache = cache }
+}
+
+// WorkerTimeout bounds each shard's computation (default 30s).
+func WorkerTimeout(d time.Duration) WorkerOption {
+	return func(c *workerConfig) { c.timeout = d }
+}
+
+// WorkerMaxShardSpecs bounds the specs accepted per shard request
+// (default DefaultMaxShardSpecs).
+func WorkerMaxShardSpecs(n int) WorkerOption {
+	return func(c *workerConfig) { c.maxShardSpecs = n }
+}
+
+// Worker is the worker-side handler: the full single-process
+// consensus.Server surface (run, sweep, scenario, experiments, status,
+// ...) plus the shard execution endpoint the coordinator fans out to:
+//
+//	POST /api/v1/shard    ShardRequest -> ShardResponse
+//	GET  /api/v1/status   WorkerStatus (server caches + shard counters)
+//
+// Shards execute through the ordinary Sweep path against the worker's
+// own fingerprint-keyed sweep cache, so the batch plane (tiling, plan
+// caching, intra-step parallelism) is fully engaged per worker and a
+// re-routed or re-submitted shard re-serves cached runs locally.
+type Worker struct {
+	mux     *http.ServeMux
+	inner   *consensus.Server
+	lib     *consensus.Library
+	cache   *consensus.SweepCache
+	timeout time.Duration
+	maxSpec int
+
+	shards      atomic.Uint64
+	shardSpecs  atomic.Uint64
+	shardErrors atomic.Uint64
+}
+
+// NewWorker builds the worker handler.
+func NewWorker(opts ...WorkerOption) *Worker {
+	cfg := workerConfig{timeout: 30 * time.Second, maxShardSpecs: DefaultMaxShardSpecs}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.cache == nil {
+		cfg.cache = consensus.NewSweepCache()
+	}
+	serverOpts := append([]consensus.ServerOption{
+		consensus.ServerTimeout(cfg.timeout),
+		consensus.ServerSweepCache(cfg.cache),
+	}, cfg.serverOpts...)
+	if cfg.lib != nil {
+		serverOpts = append(serverOpts, consensus.ServerLibrary(cfg.lib))
+	}
+	w := &Worker{
+		inner:   consensus.NewServer(serverOpts...),
+		lib:     cfg.lib,
+		cache:   cfg.cache,
+		timeout: cfg.timeout,
+		maxSpec: cfg.maxShardSpecs,
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", w.inner)
+	mux.HandleFunc("POST /api/v1/shard", w.handleShard)
+	mux.HandleFunc("GET /api/v1/status", w.handleStatus)
+	w.mux = mux
+	return w
+}
+
+// ServeHTTP implements http.Handler.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+
+// SweepCacheCounters returns the worker's sweep-cache accounting.
+func (w *Worker) SweepCacheCounters() consensus.SweepCacheCounters { return w.cache.Counters() }
+
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := decodeBody(rw, r, &req); err != nil {
+		w.shardErrors.Add(1)
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		w.shardErrors.Add(1)
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("distributed: shard needs at least one spec"))
+		return
+	}
+	if len(req.Specs) > w.maxSpec {
+		w.shardErrors.Add(1)
+		writeError(rw, http.StatusBadRequest,
+			fmt.Errorf("distributed: shard carries %d specs, worker cap is %d", len(req.Specs), w.maxSpec))
+		return
+	}
+	for _, spec := range req.Specs {
+		if err := consensus.CheckServedRounds(spec.Rounds); err != nil {
+			w.shardErrors.Add(1)
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), w.timeout)
+	defer cancel()
+	opts := []consensus.SweepOption{consensus.WithSweepCache(w.cache)}
+	if w.lib != nil {
+		opts = append(opts, consensus.SweepLibrary(w.lib))
+	}
+	if req.Workers > 0 {
+		opts = append(opts, consensus.SweepWorkers(req.Workers))
+	}
+	results, err := consensus.Sweep(ctx, req.Specs, opts...)
+	if err != nil {
+		w.shardErrors.Add(1)
+		writeError(rw, statusOf(err), err)
+		return
+	}
+	w.shards.Add(1)
+	w.shardSpecs.Add(uint64(len(req.Specs)))
+	writeJSON(rw, http.StatusOK, ShardResponse{Shard: req.Shard, Results: results})
+}
+
+func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
+	writeJSON(rw, http.StatusOK, WorkerStatus{
+		StatusReport: w.inner.Status(),
+		Shards:       w.shards.Load(),
+		ShardSpecs:   w.shardSpecs.Load(),
+		ShardErrors:  w.shardErrors.Load(),
+	})
+}

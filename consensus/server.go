@@ -41,6 +41,7 @@ func ServerSweepCache(c *SweepCache) ServerOption {
 // Endpoints (all under /api/v1):
 //
 //	GET  /healthz              liveness
+//	GET  /api/v1/status        cache hit/miss/eviction counters
 //	GET  /api/v1/registry      registered algorithms, models, adversaries
 //	POST /api/v1/run           RunSpec -> RunSummary (+ diameters)
 //	POST /api/v1/sweep         {"specs": [RunSpec...]} -> {"results": ...}
@@ -61,10 +62,12 @@ type Server struct {
 	lib        *Library
 	sweepCache *SweepCache
 
-	cacheMu    sync.Mutex
-	cache      map[string][]byte
-	cacheMax   int
-	cacheBytes int
+	cacheMu     sync.Mutex
+	cache       map[string][]byte
+	cacheMax    int
+	cacheBytes  int
+	cacheHits   uint64
+	cacheMisses uint64
 }
 
 // Response-cache byte bounds: the entry-count cap alone would not stop a
@@ -88,6 +91,7 @@ func NewServer(opts ...ServerOption) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/registry", s.handleRegistry)
 	mux.HandleFunc("POST /api/v1/run", s.handleRun)
 	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
@@ -136,7 +140,7 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 }
 
 // maxRequestBytes bounds a request body: the server caps its outputs
-// (maxServerRounds, the cache byte bounds), so inputs must be bounded
+// (MaxServedRounds, the cache byte bounds), so inputs must be bounded
 // too or one oversized POST buffers gigabytes before validation runs.
 const maxRequestBytes = 8 << 20
 
@@ -157,6 +161,11 @@ func (s *Server) cached(w http.ResponseWriter, key string, f func() (any, error)
 	if s.cacheMax > 0 {
 		s.cacheMu.Lock()
 		body, hit := s.cache[key]
+		if hit {
+			s.cacheHits++
+		} else {
+			s.cacheMisses++
+		}
 		s.cacheMu.Unlock()
 		if hit {
 			w.Header().Set("X-Repro-Cache", "hit")
@@ -200,6 +209,66 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// ResponseCacheStats is the /api/v1/status view of the server's
+// canonical-request response cache.
+type ResponseCacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Bytes    int    `json:"bytes"`
+	Capacity int    `json:"capacity"`
+}
+
+// ScenarioCacheStats is the /api/v1/status view of the scenario
+// registry's resolution cache.
+type ScenarioCacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// StatusReport is the /api/v1/status payload: the serving caches'
+// hit/miss/eviction accounting. The same report (extended with shard
+// and queue sections) backs the distributed coordinator and worker
+// status endpoints.
+type StatusReport struct {
+	SweepCache    SweepCacheCounters `json:"sweep_cache"`
+	SweepHitRate  float64            `json:"sweep_cache_hit_rate"`
+	PlanCache     PlanCacheCounters  `json:"plan_cache"`
+	ResponseCache ResponseCacheStats `json:"response_cache"`
+	ScenarioCache ScenarioCacheStats `json:"scenario_cache"`
+}
+
+// Status returns the server's cache accounting snapshot.
+func (s *Server) Status() StatusReport {
+	sc := s.sweepCache.Counters()
+	rep := StatusReport{
+		SweepCache:   sc,
+		SweepHitRate: sc.HitRate(),
+		PlanCache:    PlanCacheTotals(),
+	}
+	s.cacheMu.Lock()
+	rep.ResponseCache = ResponseCacheStats{
+		Hits:     s.cacheHits,
+		Misses:   s.cacheMisses,
+		Entries:  len(s.cache),
+		Bytes:    s.cacheBytes,
+		Capacity: s.cacheMax,
+	}
+	s.cacheMu.Unlock()
+	h, m, n := s.lib.scenarios().ResolveCacheStats()
+	rep.ScenarioCache = ScenarioCacheStats{Hits: h, Misses: m, Entries: n}
+	return rep
+}
+
+// SweepCacheCounters returns the accounting of the sweep cache this
+// server serves from (for startup logging and tests).
+func (s *Server) SweepCacheCounters() SweepCacheCounters { return s.sweepCache.Counters() }
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
 // registryResponse is the /api/v1/registry payload.
 type registryResponse struct {
 	Algorithms  []FactoryInfo `json:"algorithms"`
@@ -226,16 +295,18 @@ type runResponse struct {
 	Diameters []float64  `json:"diameters"`
 }
 
-// maxServerRounds bounds a single served run: the run endpoint
+// MaxServedRounds bounds a single served run: the run endpoint
 // materializes one value vector per round (and JSON-encodes the diameter
 // series), so unbounded client-chosen round counts would trade the
 // per-query CPU timeout for unbounded memory. Longer executions belong
-// in-process on the constant-memory Rounds iterator.
-const maxServerRounds = 1 << 20
+// in-process on the constant-memory Rounds iterator. The distributed
+// coordinator and workers enforce the same cap per shard spec.
+const MaxServedRounds = 1 << 20
 
-func checkServerRounds(rounds int) error {
-	if rounds > maxServerRounds {
-		return fmt.Errorf("consensus: served runs are capped at %d rounds, got %d", maxServerRounds, rounds)
+// CheckServedRounds rejects round budgets past MaxServedRounds.
+func CheckServedRounds(rounds int) error {
+	if rounds > MaxServedRounds {
+		return fmt.Errorf("consensus: served runs are capped at %d rounds, got %d", MaxServedRounds, rounds)
 	}
 	return nil
 }
@@ -246,7 +317,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := checkServerRounds(spec.Rounds); err != nil {
+	if err := CheckServedRounds(spec.Rounds); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -288,7 +359,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, spec := range req.Specs {
-		if err := checkServerRounds(spec.Rounds); err != nil {
+		if err := CheckServedRounds(spec.Rounds); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -389,7 +460,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := checkServerRounds(req.Rounds); err != nil {
+	if err := CheckServedRounds(req.Rounds); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -408,7 +479,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		if horizon <= 0 {
 			horizon = sch.Horizon()
 		}
-		if err := checkServerRounds(horizon); err != nil {
+		if err := CheckServedRounds(horizon); err != nil {
 			return nil, err
 		}
 		return runScenarioResolved(ctx, sch, req, s.lib)

@@ -274,7 +274,7 @@ func TestServerScenarioCertifyHorizonCapped(t *testing.T) {
 	ts := httptest.NewServer(NewServer(ServerTimeout(time.Minute)))
 	defer ts.Close()
 
-	long := make([]graph.Graph, maxServerRounds+1)
+	long := make([]graph.Graph, MaxServedRounds+1)
 	for i := range long {
 		long[i] = graph.Complete(2)
 	}

@@ -2,6 +2,8 @@ package consensus
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sort"
@@ -97,13 +99,14 @@ func Summarize(res *Result) RunSummary {
 // entries first, so a long-lived server facing unbounded distinct specs
 // holds at most Capacity summaries.
 type SweepCache struct {
-	mu     sync.Mutex
-	m      map[string]RunSummary
-	order  []string // insertion order; order[head:] are live, FIFO eviction
-	head   int
-	max    int
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	m         map[string]RunSummary
+	order     []string // insertion order; order[head:] are live, FIFO eviction
+	head      int
+	max       int
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // defaultSweepCacheSize bounds a cache built by NewSweepCache.
@@ -165,6 +168,7 @@ func (c *SweepCache) evictLocked(room int) {
 		delete(c.m, c.order[c.head])
 		c.order[c.head] = ""
 		c.head++
+		c.evictions++
 	}
 	// Reclaim the order slice once the dead prefix dominates.
 	if c.head > len(c.order)/2 {
@@ -211,6 +215,51 @@ func (c *SweepCache) Stats() (hits, misses uint64, entries int) {
 	return c.hits, c.misses, len(c.m)
 }
 
+// SweepCacheCounters is a cache's lifetime accounting snapshot, as the
+// status endpoints report it.
+type SweepCacheCounters struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (c SweepCacheCounters) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// Counters returns the cache's full accounting snapshot.
+func (c *SweepCache) Counters() SweepCacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := c.max
+	if max <= 0 {
+		max = defaultSweepCacheSize
+	}
+	return SweepCacheCounters{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.m),
+		Capacity:  max,
+	}
+}
+
+// Lookup returns the summary stored under key, counting a hit or a
+// miss — the exported form of the sweep's internal lookup, for callers
+// (the distributed result store) addressing the cache by their own
+// fingerprint keys.
+func (c *SweepCache) Lookup(key string) (RunSummary, bool) { return c.get(key) }
+
+// Insert stores a summary under key, evicting oldest-first past the
+// capacity — the exported counterpart of Lookup.
+func (c *SweepCache) Insert(key string, s RunSummary) { c.put(key, s) }
+
 // cacheKey derives the fingerprint key of a session: the canonical
 // initial-configuration fingerprint (the same encoding the valency
 // engine's transposition tables are keyed by) plus every run parameter
@@ -220,17 +269,34 @@ func (c *SweepCache) Stats() (hits, misses uint64, entries int) {
 // are differentially tested to be bit-identical. ok is false for
 // non-fingerprintable algorithms; those runs are never cached.
 func (s *Session) cacheKey() (string, bool) {
-	fp, ok := core.NewConfig(s.alg, s.inputs).AppendFingerprint(nil)
+	ck, ok := s.contentKey()
 	if !ok {
 		return "", false
 	}
-	key := make([]byte, 0, 96+len(fp))
+	key := make([]byte, 0, 32+len(ck))
 	key = strconv.AppendUint(key, s.lib.models().id, 10)
 	key = append(key, '/')
 	key = strconv.AppendUint(key, s.lib.algorithms().id, 10)
 	key = append(key, '/')
 	key = strconv.AppendUint(key, s.lib.adversaries().id, 10)
 	key = append(key, '|')
+	key = append(key, ck...)
+	return string(key), true
+}
+
+// contentKey is the registry-independent part of cacheKey: the canonical
+// byte encoding of everything that determines a run's outcome given the
+// repository's built-in factories — resolved model spec, algorithm name,
+// adversary spec (the schedule's SHA-256 fingerprint for scenario runs),
+// run parameters, and the initial-configuration fingerprint. Unlike
+// cacheKey it is stable across processes, so its hash can address
+// results computed by another machine running the same build.
+func (s *Session) contentKey() ([]byte, bool) {
+	fp, ok := core.NewConfig(s.alg, s.inputs).AppendFingerprint(nil)
+	if !ok {
+		return nil, false
+	}
+	key := make([]byte, 0, 96+len(fp))
 	key = append(key, s.modelSpec...)
 	key = append(key, '|')
 	key = append(key, s.alg.Name()...)
@@ -249,16 +315,46 @@ func (s *Session) cacheKey() (string, bool) {
 	key = strconv.AppendInt(key, int64(len(fp)), 10)
 	key = append(key, ':')
 	key = append(key, fp...)
-	return string(key), true
+	return key, true
 }
 
-// SweepResult is one sweep entry's outcome.
+// Fingerprint returns the session's content address: the hex SHA-256 of
+// the canonical registry-independent configuration key (see contentKey).
+// Two sessions with equal fingerprints produce bit-identical results on
+// any backend and any machine running the same build, so the fingerprint
+// keys the distributed result store and names shards. ok is false for
+// non-fingerprintable algorithms, whose runs are never content-addressed.
+func (s *Session) Fingerprint() (string, bool) {
+	ck, ok := s.contentKey()
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256(ck)
+	return hex.EncodeToString(sum[:]), true
+}
+
+// SpecFingerprint resolves a spec into its content address (see
+// Session.Fingerprint). A nil error with an empty fingerprint marks a
+// valid but non-fingerprintable configuration.
+func SpecFingerprint(spec RunSpec, extra ...Option) (string, error) {
+	s, err := NewSession(spec, extra...)
+	if err != nil {
+		return "", err
+	}
+	fp, _ := s.Fingerprint()
+	return fp, nil
+}
+
+// SweepResult is one sweep entry's outcome. Fingerprint is the run's
+// content address (Session.Fingerprint); empty for non-fingerprintable
+// configurations and for specs that failed to resolve.
 type SweepResult struct {
-	Index   int         `json:"index"`
-	Spec    RunSpec     `json:"spec"`
-	Cached  bool        `json:"cached"`
-	Summary *RunSummary `json:"summary,omitempty"`
-	Err     string      `json:"error,omitempty"`
+	Index       int         `json:"index"`
+	Spec        RunSpec     `json:"spec"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Cached      bool        `json:"cached"`
+	Summary     *RunSummary `json:"summary,omitempty"`
+	Err         string      `json:"error,omitempty"`
 }
 
 // sweepConfig collects sweep options.
@@ -600,6 +696,7 @@ func (t *sweepTask) prepare(ctx context.Context, spec RunSpec, index int, cfg *s
 	t.session = session
 	t.key, t.cacheable = session.cacheKey()
 	if t.cacheable {
+		t.res.Fingerprint, _ = session.Fingerprint()
 		if summary, hit := cfg.cache.get(t.key); hit {
 			t.res.Cached = true
 			t.res.Summary = &summary
@@ -710,6 +807,34 @@ func sweepPlanCacheCap(n int) int {
 	return c
 }
 
+// planCacheTotals aggregates every sweep tile's step-plan cache
+// accounting process-wide. Per-runner counters are plain fields on the
+// hot path; each tile flushes them here once, on completion, so the
+// status endpoints can report plan reuse without slowing stepping.
+var planCacheTotals struct {
+	hits, misses, evictions, deferrals atomic.Uint64
+}
+
+// PlanCacheCounters is the process-wide step-plan cache accounting
+// (see core.BatchRunner.PlanCacheStats for the per-field semantics),
+// summed over every completed sweep tile.
+type PlanCacheCounters struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Deferrals uint64 `json:"deferrals"`
+}
+
+// PlanCacheTotals returns the process-wide plan-cache counters.
+func PlanCacheTotals() PlanCacheCounters {
+	return PlanCacheCounters{
+		Hits:      planCacheTotals.hits.Load(),
+		Misses:    planCacheTotals.misses.Load(),
+		Evictions: planCacheTotals.evictions.Load(),
+		Deferrals: planCacheTotals.deferrals.Load(),
+	}
+}
+
 func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 	if err := ctx.Err(); err != nil {
 		for _, t := range tile {
@@ -736,6 +861,13 @@ func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 		inputs[i] = t.session.inputs
 	}
 	br := core.NewBatchRunner(d, inputs)
+	defer func() {
+		h, m, e, df, _ := br.PlanCacheStats()
+		planCacheTotals.hits.Add(h)
+		planCacheTotals.misses.Add(m)
+		planCacheTotals.evictions.Add(e)
+		planCacheTotals.deferrals.Add(df)
+	}()
 	// Intra-tile parallelism: the sweep-resolved count, raised by any
 	// session in the tile that pinned a higher one via
 	// WithBatchParallelism (parallel stepping is bit-identical, so
