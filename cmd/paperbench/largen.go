@@ -11,14 +11,15 @@ import (
 	"repro/internal/graph"
 )
 
-// This file measures the raw batch kernel at its size ceiling — the
-// large-n workload the parallel step is built for — bypassing the sweep
-// machinery so the numbers isolate core.BatchRunner stepping. n is
-// pinned to graph.MaxNodes (64): the dense plane encodes in-neighbor
-// sets as uint64 bitmasks, so 64 agents is the kernel's hard ceiling,
-// and "large n" means saturating it while B carries the scale.
+// This file measures the raw batch kernel on the large-n workload the
+// parallel step is built for, bypassing the sweep machinery so the
+// numbers isolate core.BatchRunner stepping. The dense plane encodes
+// in-neighbor sets as word-sliced bitmasks (W = ⌈n/64⌉ words per row),
+// so n is no longer capped at one machine word; the series runs at
+// n = 256 (four words per row) to exercise the multi-word folds and the
+// word-aligned receiver sharding, while B carries the batch scale.
 const (
-	largeN     = graph.MaxNodes
+	largeN     = 256
 	largeBatch = 1024
 )
 
@@ -32,7 +33,7 @@ type parallelEntry struct {
 	RunRoundsPerSec float64 `json:"run_rounds_per_sec"`
 }
 
-// parallelReport is the BENCH_PR7 "parallel" section: the large-n
+// parallelReport is the BENCH_PR9 "parallel" section: the large-n
 // kernel series per worker count (1, 2, 4, ... up to GOMAXPROCS, with 4
 // always included when the machine has it) for the shared-graph
 // amortized workload and the churn-clustered StepEach workload.
@@ -56,19 +57,26 @@ type parallelReport struct {
 // graph (the fold-sharing regime the plan cache is built for), n
 // distinct graphs for clustering to chew on.
 func largeGraphs(n int) []graph.Graph {
-	full := uint64(1)<<uint(n) - 1
+	w := graph.WordsFor(n)
+	full := make([]uint64, w)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << uint(i%64)
+	}
+	deaf := make([]uint64, w)
 	gs := make([]graph.Graph, n)
-	masks := make([]uint64, n)
 	for k := 0; k < n; k++ {
+		b := graph.NewBuilder(n)
 		for j := 0; j < n; j++ {
-			masks[j] = full
+			b.SetInRow(j, full)
 		}
-		masks[k] = 1<<uint(k) | 1<<uint((k+1)%n)
-		g, err := graph.FromInMasks(n, masks)
-		if err != nil {
-			panic(err)
+		for i := range deaf {
+			deaf[i] = 0
 		}
-		gs[k] = g
+		deaf[k/64] |= 1 << uint(k%64)
+		next := (k + 1) % n
+		deaf[next/64] |= 1 << uint(next%64)
+		b.SetInRow(k, deaf)
+		gs[k] = b.Graph()
 	}
 	return gs
 }
@@ -118,11 +126,11 @@ func workerSeries(maxProcs int) []int {
 //
 // Within one workload the samples at different worker counts interleave
 // so machine-load drift lands on every series point alike.
-func benchLargeN(out io.Writer, samples, rounds, maxProcs int) (*parallelReport, error) {
+func benchLargeN(out io.Writer, samples, rounds, n, maxProcs int) (*parallelReport, error) {
 	if rounds < 1 {
 		rounds = 1
 	}
-	n, b := largeN, largeBatch
+	b := largeBatch
 	pool := largeGraphs(n)
 	inputs := largeInputs(b, n)
 	series := workerSeries(maxProcs)

@@ -21,7 +21,7 @@
 //	                            a 64-scenario grid (per-run schedules in
 //	                            one batch)
 //	paperbench -bench -json F   additionally write the results as JSON to F
-//	                            (committed as BENCH_PR8.json and uploaded
+//	                            (committed as BENCH_PR9.json and uploaded
 //	                            as a CI artifact); the distributed series
 //	                            spins an in-process coordinator/worker
 //	                            cluster at 1 and 2 workers
@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/consensus"
+	"repro/internal/graph"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func run(args []string, out io.Writer) error {
 	benchSpecs := fs.Int("benchspecs", 64, "with -bench: specs per sweep")
 	benchRounds := fs.Int("benchrounds", 1000, "with -bench: rounds per run")
 	largenRounds := fs.Int("benchlargenrounds", 200, "with -bench: rounds per large-n kernel sample (0 disables the large-n series)")
+	largenN := fs.Int("benchlargenn", largeN, "with -bench: agents in the large-n kernel series (the multi-word regime needs > 64; 64 isolates the single-word fast path)")
 	distRequests := fs.Int("benchdist", 24, "with -bench: requests in the distributed series (0 disables it)")
 	backend := consensus.BackendFlag(fs)
 	batchPar := consensus.BatchParallelismFlag(fs)
@@ -79,7 +81,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *bench {
-		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, *largenRounds, *distRequests, string(backend.Value()))
+		return runBench(out, *jsonPath, *benchN, *benchSpecs, *benchRounds, *largenRounds, *largenN, *distRequests, string(backend.Value()))
 	}
 
 	if *list {
@@ -117,7 +119,7 @@ func run(args []string, out io.Writer) error {
 }
 
 // benchReport is the machine-readable benchmark artifact (committed as
-// BENCH_PR8.json and uploaded by CI): the batch-plane sweep against
+// BENCH_PR9.json and uploaded by CI): the batch-plane sweep against
 // PR 3's goroutine-per-run sweep, on the shared-model workload and on
 // two scenario grids with per-run schedules (long churn epochs, and
 // every-round churn for maximal graph diversity), medians over the
@@ -177,9 +179,12 @@ type benchEntry struct {
 // benchRounds rounds over deaf(K16) midpoint, inputs varied per spec)
 // and the scenario grid (benchSpecs churn schedules, one per seed, so
 // every batched run follows its own per-round graph sequence).
-func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largenRounds, distRequests int, backend string) error {
+func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largenRounds, largenN, distRequests int, backend string) error {
 	if samples < 1 || specCount < 1 || rounds < 0 || largenRounds < 0 || distRequests < 0 {
 		return fmt.Errorf("bad bench parameters: n=%d specs=%d rounds=%d largen=%d dist=%d", samples, specCount, rounds, largenRounds, distRequests)
+	}
+	if largenN < 2 || largenN > graph.MaxNodes {
+		return fmt.Errorf("bad bench parameters: largen agent count %d (want 2..%d)", largenN, graph.MaxNodes)
 	}
 	modelSpecs := make([]consensus.RunSpec, specCount)
 	for i := range modelSpecs {
@@ -300,7 +305,7 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largen
 		report.ScenarioDiverseSpeedup = float64(diverseSingleNs) / float64(diverseBatchNs)
 	}
 	if largenRounds > 0 {
-		par, err := benchLargeN(out, samples, largenRounds, runtime.GOMAXPROCS(0))
+		par, err := benchLargeN(out, samples, largenRounds, largenN, runtime.GOMAXPROCS(0))
 		if err != nil {
 			return err
 		}

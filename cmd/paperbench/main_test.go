@@ -91,8 +91,8 @@ func TestRunBenchJSON(t *testing.T) {
 	if report.Parallel == nil {
 		t.Fatal("artifact missing the parallel large-n section")
 	}
-	if report.Parallel.N != 64 || report.Parallel.Batch != 1024 {
-		t.Errorf("large-n section has n=%d B=%d, want 64/1024", report.Parallel.N, report.Parallel.Batch)
+	if report.Parallel.N != 256 || report.Parallel.Batch != 1024 {
+		t.Errorf("large-n section has n=%d B=%d, want 256/1024", report.Parallel.N, report.Parallel.Batch)
 	}
 	// One entry per workload per worker count, sequential always present.
 	seen := map[string]bool{}

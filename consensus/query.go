@@ -117,7 +117,7 @@ func Solvability(ctx context.Context, modelSpec string, opts ...QueryOption) (*S
 		r.GraphRoots = make([][]int, m.Size())
 		for i, g := range m.Graphs() {
 			r.GraphNames[i] = g.String()
-			r.GraphRoots[i] = graph.MaskToNodes(g.Roots())
+			r.GraphRoots[i] = graph.SetToNodes(g.RootsSet())
 		}
 		return r, nil
 	})

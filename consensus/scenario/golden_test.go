@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// The committed fixture testdata/golden_rsc1.trace pins the single-word
+// trace format and its replay semantics across refactors: the ceiling
+// lift (multi-word masks, RSC2) must leave every n <= 64 artifact
+// byte-identical, and these constants are what "identical" means. If
+// this test ever needs a regenerated fixture, that is a format break —
+// committed trace fingerprints in the wild would silently change
+// identity.
+const (
+	goldenTraceFP = "6268f7395682b661383b615c7ad22b61fe60b0c8797a725d709cc92dcf8c417f"
+	goldenRunFP   = "0600000000000000100000000000000001aaaaaaaaaa2ae73f01aaaaaaaaaa2ae73f01aaaaaaaaaa2ae73f01aaaaaaaaaa2ae73f01aaaaaaaaaa2ae73f01aaaaaaaaaa2ae73f"
+	goldenRounds  = 16
+)
+
+// goldenSchedule reconstructs the fixture's schedule from first
+// principles — the same explicit lasso that generated the file.
+func goldenSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	n := 6
+	return mk(t)(NewLasso(n,
+		[]graph.Graph{graph.Star(n, 1), graph.Cycle(n), graph.Deaf(graph.Complete(n), 3)},
+		[]graph.Graph{graph.Complete(n), graph.Cycle(n)}))
+}
+
+func goldenInputs() []float64 {
+	return []float64{0, 1, 0.25, 0.75, 0.5, 1.0 / 3.0}
+}
+
+func TestGoldenRSC1Trace(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_rsc1.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("RSC1")) {
+		t.Fatalf("fixture does not start with the RSC1 magic: %q", raw[:4])
+	}
+
+	// Encoding today's schedule must reproduce the committed bytes, and
+	// decoding the committed bytes must reproduce the schedule.
+	s := goldenSchedule(t)
+	if !bytes.Equal(s.Encode(), raw) {
+		t.Fatal("encoding the golden schedule no longer matches the committed RSC1 bytes")
+	}
+	d, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(d) {
+		t.Fatal("decoded fixture is not the golden schedule")
+	}
+	if got := d.Fingerprint(); got != goldenTraceFP {
+		t.Fatalf("trace fingerprint drifted:\n got %s\nwant %s", got, goldenTraceFP)
+	}
+
+	// Replay through both backends; the run fingerprint is pinned too,
+	// so a codec that decodes "something equivalent" cannot hide a
+	// semantic change behind a matching trace digest.
+	want, err := hex.DecodeString(goldenRunFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := goldenInputs()
+
+	c := core.NewConfig(algorithms.Midpoint{}, inputs)
+	for round := 1; round <= goldenRounds; round++ {
+		c = c.Step(d.At(round))
+	}
+	afp, ok := c.AppendFingerprint(nil)
+	if !ok {
+		t.Fatal("agent replay not fingerprintable")
+	}
+	if !bytes.Equal(afp, want) {
+		t.Fatalf("agent replay fingerprint drifted:\n got %s\nwant %s", hex.EncodeToString(afp), goldenRunFP)
+	}
+
+	alg, ok := core.AsDense(algorithms.Midpoint{})
+	if !ok {
+		t.Fatal("midpoint must be dense-capable")
+	}
+	r := core.NewDenseRunner(alg, inputs)
+	for round := 1; round <= goldenRounds; round++ {
+		r.Step(d.At(round))
+	}
+	dfp, ok := core.AppendDenseFingerprint(alg, r.State(), nil)
+	if !ok {
+		t.Fatal("dense replay not fingerprintable")
+	}
+	if !bytes.Equal(dfp, want) {
+		t.Fatalf("dense replay fingerprint drifted:\n got %s\nwant %s", hex.EncodeToString(dfp), goldenRunFP)
+	}
+}

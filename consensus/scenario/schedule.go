@@ -21,7 +21,6 @@
 package scenario
 
 import (
-	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
@@ -172,13 +171,11 @@ func (s *Schedule) Equal(t *Schedule) bool {
 // graphMemoKey returns g's raw little-endian mask rows appended to
 // buf[:0] — the cheap per-graph memo key (the same representation the
 // codec dedups on; an order of magnitude cheaper than the fmt-formatted
-// graph.Key, which matters on million-round certifications).
+// graph.Key, which matters on million-round certifications). At any
+// width the key is the full row words, so multi-word graphs memo just
+// as cheaply.
 func graphMemoKey(buf []byte, g graph.Graph) []byte {
-	buf = buf[:0]
-	for i := 0; i < g.N(); i++ {
-		buf = binary.LittleEndian.AppendUint64(buf, g.InMask(i))
-	}
-	return buf
+	return g.AppendMaskKey(buf[:0])
 }
 
 // DistinctGraphs returns the number of distinct graphs the schedule ever

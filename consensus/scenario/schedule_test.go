@@ -164,10 +164,10 @@ func TestGenerators(t *testing.T) {
 func TestGeneratorsRejectHostileArguments(t *testing.T) {
 	const huge = int(^uint(0) >> 2)
 	cases := map[string]func() (*Schedule, error){
-		"PartitionHeal n>64":   func() (*Schedule, error) { return PartitionHeal(100, 2, 4) },
-		"Churn n>64":           func() (*Schedule, error) { return Churn(100, 1, 3, 4, 2) },
+		"PartitionHeal n>1024": func() (*Schedule, error) { return PartitionHeal(1025, 2, 4) },
+		"Churn n>1024":         func() (*Schedule, error) { return Churn(1025, 1, 3, 4, 2) },
 		"Churn n<1":            func() (*Schedule, error) { return Churn(0, 1, 3, 4, 0) },
-		"EventuallyRooted n":   func() (*Schedule, error) { return EventuallyRooted(65, 2) },
+		"EventuallyRooted n":   func() (*Schedule, error) { return EventuallyRooted(1025, 2) },
 		"Churn cap overflow":   func() (*Schedule, error) { return Churn(4, 1, huge, 3, 1) },
 		"Repeat cap overflow": func() (*Schedule, error) {
 			s, err := EventuallyRooted(4, 2)

@@ -256,7 +256,7 @@ func TestServerScenarioEndpoint(t *testing.T) {
 	}
 	// Hostile generator arguments must come back as 400s, not panics.
 	for _, spec := range []string{
-		"partitionheal:100,2,4",
+		"partitionheal:2000,2,4",
 		"churn:4,1,3074457345618258603,3,1",
 		"repeat:4611686018427387904;eventuallyrooted:4,2",
 	} {

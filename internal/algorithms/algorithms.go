@@ -30,7 +30,6 @@ package algorithms
 import (
 	"fmt"
 	"math"
-	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -300,7 +299,7 @@ func (a *flowSumAgent) Clone() core.Agent { cp := *a; return &cp }
 func FlowSumFor(g graph.Graph) FlowSum {
 	degs := make([]int, g.N())
 	for i := range degs {
-		degs[i] = bits.OnesCount64(g.OutMask(i))
+		degs[i] = g.OutDegree(i)
 	}
 	return FlowSum{OutDegrees: degs}
 }

@@ -148,6 +148,10 @@ func foldMinMaxDelta(y []float64, delta uint64, lo0, hi0 float64) (lo, hi float6
 // (ubiquitous in the paper's families: complete, deaf, Psi, silence
 // blocks) share one fold via the last-mask memo.
 func (Midpoint) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		midpointStepDenseW(dst, src, g)
+		return
+	}
 	y, out := src.Y, dst.Y
 	var lastMask uint64 // 0 is impossible: every mask carries the self-loop
 	var mid float64
@@ -253,6 +257,10 @@ func foldMean(y []float64, m uint64) float64 {
 // StepDense implements core.DenseAlgorithm. The received mean is a pure
 // function of the in-mask, so receivers sharing a mask share the fold.
 func (Mean) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		meanStepDenseW(dst, src, g)
+		return
+	}
 	y, out := src.Y, dst.Y
 	var lastMask uint64
 	var mean float64
@@ -299,6 +307,10 @@ func (s SelfWeighted) InitDense(*core.DenseState) {
 
 // StepDense implements core.DenseAlgorithm.
 func (s SelfWeighted) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		s.stepDenseW(dst, src, g)
+		return
+	}
 	y, out := src.Y, dst.Y
 	for j := 0; j < src.N(); j++ {
 		sum, count := 0.0, 0
@@ -366,6 +378,10 @@ func (AmortizedMidpoint) InitDense(st *core.DenseState) {
 // in-mask and receivers sharing a mask share the fold (min/max are exact
 // selections — see foldMinMax).
 func (AmortizedMidpoint) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		amortizedStepDenseW(dst, src, g)
+		return
+	}
 	n := src.N()
 	phase := amortizedPhase(n)
 	round := dst.Round()
@@ -465,6 +481,10 @@ func (a QuantizedMidpoint) InitDense(st *core.DenseState) {
 // StepDense implements core.DenseAlgorithm, sharing folds across equal
 // in-masks like Midpoint.
 func (a QuantizedMidpoint) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		a.stepDenseW(dst, src, g)
+		return
+	}
 	y, out := src.Y, dst.Y
 	var lastMask uint64
 	var snapped float64
@@ -523,6 +543,10 @@ func (f FloodRoot) InitDense(st *core.DenseState) {
 // informed sender (and which value the first one carries) is a pure
 // function of the mask, shared across receivers.
 func (FloodRoot) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		floodRootStepDenseW(dst, src, g)
+		return
+	}
 	n := src.N()
 	y := src.Y
 	inf0, rv0 := src.Plane(floodPlaneInformed), src.Plane(floodPlaneRoot)
@@ -620,6 +644,10 @@ func foldFlowSum(y []float64, degs []int, m uint64) float64 {
 // so the result matches the Agent path that computes it once in
 // Broadcast.
 func (f FlowSum) StepDense(dst, src *core.DenseState, g graph.Graph) {
+	if g.Words() > 1 {
+		f.stepDenseW(dst, src, g)
+		return
+	}
 	y, out := src.Y, dst.Y
 	var lastMask uint64
 	var sum float64

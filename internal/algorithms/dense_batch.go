@@ -68,6 +68,10 @@ func (Midpoint) FoldShardable() bool { return true }
 // anything owned before the shard is refolded from its mask —
 // bit-identical either way.
 func (Midpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	if plan.Words > 1 {
+		midpointStepDenseBatchW(dst, src, plan)
+		return
+	}
 	los, his := plan.F0, plan.F1
 	segLo, segHi := plan.SegRange()
 	for _, r := range plan.Runs {
@@ -103,6 +107,10 @@ func (Midpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
 
 // StepDenseBatch implements core.BatchStepper.
 func (Mean) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	if plan.Words > 1 {
+		meanStepDenseBatchW(dst, src, plan)
+		return
+	}
 	means := plan.F0
 	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
@@ -136,6 +144,10 @@ func (QuantizedMidpoint) FoldShardable() bool { return true }
 // StepDenseBatch implements core.BatchStepper, honoring plan.SegRange
 // like Midpoint.
 func (a QuantizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	if plan.Words > 1 {
+		a.stepDenseBatchW(dst, src, plan)
+		return
+	}
 	los, his := plan.F0, plan.F1
 	segLo, segHi := plan.SegRange()
 	for _, r := range plan.Runs {
@@ -177,6 +189,10 @@ func (AmortizedMidpoint) FoldShardable() bool { return true }
 // StepDenseBatch implements core.BatchStepper, honoring plan.SegRange
 // like Midpoint.
 func (AmortizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	if plan.Words > 1 {
+		amortizedStepDenseBatchW(dst, src, plan)
+		return
+	}
 	n := src.N()
 	phase := amortizedPhase(n)
 	phaseEnd := dst.Round()%phase == 0
@@ -227,6 +243,10 @@ func (AmortizedMidpoint) StepDenseBatch(dst, src *core.BatchState, plan *core.St
 
 // StepDenseBatch implements core.BatchStepper.
 func (f FlowSum) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	if plan.Words > 1 {
+		f.stepDenseBatchW(dst, src, plan)
+		return
+	}
 	sums := plan.F0
 	for _, r := range plan.Runs {
 		y, out := src.RunY(r), dst.RunY(r)
@@ -259,6 +279,10 @@ func (f FlowSum) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) 
 // per run per segment — but the segmentation itself, the dominant
 // per-receiver bookkeeping on mostly-uninformed rounds, is shared.
 func (FloodRoot) StepDenseBatch(dst, src *core.BatchState, plan *core.StepPlan) {
+	if plan.Words > 1 {
+		floodRootStepDenseBatchW(dst, src, plan)
+		return
+	}
 	heards, values := plan.F0, plan.F1
 	for _, r := range plan.Runs {
 		y := src.RunY(r)

@@ -143,6 +143,13 @@ func (st *BatchState) copyRun(dst, src int) {
 // the all-up mask plus its self bit) it turns O(n) refolds into O(1)
 // extensions. Order-sensitive folds (sums) must ignore Base and fold
 // Mask directly.
+// Multi-word plans (StepPlan.Words > 1) do not widen the struct — the
+// single-word batch kernel copies a MaskSeg per segment per run, so its
+// size is hot. Instead Mask stays zero, the segment's mask row is the
+// graph's in-row of any receiver in [Start, End) (equal by construction;
+// StepPlan.MaskRow), and Delta is reinterpreted as the word offset of the
+// segment's delta row in the plan's arena (StepPlan.DeltaRow), valid when
+// Base >= 0. Steppers dispatch on the plan's word count once per call.
 type MaskSeg struct {
 	Start, End int
 	Mask       uint64
@@ -179,6 +186,11 @@ type StepPlan struct {
 	F0   []float64
 	F1   []float64
 
+	// Words is the graph's row width (graph.Words()): 1 for every n <= 64
+	// plan. Steppers dispatch once per call: single-word plans read
+	// MaskSeg.Mask/Delta directly, wider plans go through MaskRow/DeltaRow.
+	Words int
+
 	Runs []int
 
 	// SegLo/SegHi bound the segment range this call must step — set
@@ -186,10 +198,26 @@ type StepPlan struct {
 	// value means the full segmentation (SegRange).
 	SegLo, SegHi int
 
+	// RecvLo/RecvHi bound the receiver range this call must write — set
+	// only on word shards of multi-word plans handed to FoldShardCapable
+	// steppers (the fourth shard axis: word-aligned receiver ranges
+	// within a fold). A receiver shard intersects every segment with
+	// [RecvLo, RecvHi) and must compute each touched segment's fold
+	// shard-locally from its mask, without cross-segment reuse — the
+	// fold it reuses might belong to a segment the shard never touched.
+	// The zero value means all receivers (RecvRange).
+	RecvLo, RecvHi int
+
 	WantHull bool
 	HullDone bool
 	HullLo   []float64
 	HullHi   []float64
+
+	// deltaArena backs the multi-word segments' delta rows (DeltaRow): at
+	// most one Words-wide delta per distinct fold, so the arena is sized
+	// once per build (n*Words words) and appended into without
+	// reallocating — offsets into it stay valid for the plan's lifetime.
+	deltaArena []uint64
 }
 
 // SegRange returns the segment range the stepper must cover in this
@@ -202,40 +230,99 @@ func (p *StepPlan) SegRange() (lo, hi int) {
 	return p.SegLo, p.SegHi
 }
 
+// RecvRange returns the receiver range the stepper must write in this
+// call: the word-shard bounds when the runner set them, all n receivers
+// otherwise.
+func (p *StepPlan) RecvRange(n int) (lo, hi int) {
+	if p.RecvHi == 0 {
+		return 0, n
+	}
+	return p.RecvLo, p.RecvHi
+}
+
+// MaskRow returns a multi-word segment's in-mask row: the graph row of
+// any receiver in [Start, End) — equal across the segment by
+// construction. The slice aliases the graph's immutable storage.
+func (p *StepPlan) MaskRow(seg *MaskSeg) []uint64 {
+	return p.G.InRow(seg.Start)
+}
+
+// DeltaRow returns a multi-word segment's subset-delta row — Words words
+// of the plan's arena at the offset carried in seg.Delta. Valid only
+// when seg.Base >= 0.
+func (p *StepPlan) DeltaRow(seg *MaskSeg) []uint64 {
+	off := int(seg.Delta)
+	return p.deltaArena[off : off+p.Words : off+p.Words]
+}
+
+// rowsEq reports whether two equal-length mask rows hold the same bits.
+func rowsEq(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowSubset reports whether mask row sub is contained in row super.
+func rowSubset(sub, super []uint64) bool {
+	for i := range sub {
+		if sub[i]&^super[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rowCount returns the popcount of a mask row.
+func rowCount(row []uint64) int {
+	c := 0
+	for _, m := range row {
+		c += bits.OnesCount64(m)
+	}
+	return c
+}
+
 // build computes the segmentation of g.
 func (p *StepPlan) build(g graph.Graph) {
 	p.G = g
+	p.Words = g.Words()
 	p.Segs = p.Segs[:0]
 	n := g.N()
-	for j := 0; j < n; {
-		m := g.InMask(j)
-		end := j + 1
-		for end < n && g.InMask(end) == m {
-			end++
-		}
-		fold := len(p.Segs)
-		// While scanning for an equal mask, also track the widest earlier
-		// distinct fold whose mask is a strict subset of m: a base of one
-		// bit saves nothing (the extension costs one combine per delta
-		// bit), so only bases of two or more count.
-		base, baseBits := -1, 1
-		for i, s := range p.Segs {
-			if s.Mask == m {
-				fold = i
-				break
+	if p.Words == 1 {
+		for j := 0; j < n; {
+			m := g.InMask(j)
+			end := j + 1
+			for end < n && g.InMask(end) == m {
+				end++
 			}
-			if s.Fold == i && s.Mask&^m == 0 {
-				if pc := bits.OnesCount64(s.Mask); pc > baseBits {
-					base, baseBits = i, pc
+			fold := len(p.Segs)
+			// While scanning for an equal mask, also track the widest earlier
+			// distinct fold whose mask is a strict subset of m: a base of one
+			// bit saves nothing (the extension costs one combine per delta
+			// bit), so only bases of two or more count.
+			base, baseBits := -1, 1
+			for i, s := range p.Segs {
+				if s.Mask == m {
+					fold = i
+					break
+				}
+				if s.Fold == i && s.Mask&^m == 0 {
+					if pc := bits.OnesCount64(s.Mask); pc > baseBits {
+						base, baseBits = i, pc
+					}
 				}
 			}
+			seg := MaskSeg{Start: j, End: end, Mask: m, Fold: fold, Base: -1}
+			if fold == len(p.Segs) && base >= 0 {
+				seg.Base, seg.Delta = base, m&^p.Segs[base].Mask
+			}
+			p.Segs = append(p.Segs, seg)
+			j = end
 		}
-		seg := MaskSeg{Start: j, End: end, Mask: m, Fold: fold, Base: -1}
-		if fold == len(p.Segs) && base >= 0 {
-			seg.Base, seg.Delta = base, m&^p.Segs[base].Mask
-		}
-		p.Segs = append(p.Segs, seg)
-		j = end
+	} else {
+		p.buildW(g, n)
 	}
 	if cap(p.F0) < len(p.Segs) {
 		p.F0 = make([]float64, len(p.Segs))
@@ -243,6 +330,54 @@ func (p *StepPlan) build(g graph.Graph) {
 	}
 	p.F0 = p.F0[:len(p.Segs)]
 	p.F1 = p.F1[:len(p.Segs)]
+}
+
+// buildW is the multi-word segmentation: the same fold-sharing and
+// subset-delta discovery as the single-word build, word-parallel. Segment
+// mask rows stay in the graph's immutable storage (MaskRow derives them
+// from Start); deltas are materialized into the plan's arena, which is
+// sized so appends never reallocate (each distinct fold contributes at
+// most one Words-wide delta), and referenced by offset through Delta.
+func (p *StepPlan) buildW(g graph.Graph, n int) {
+	w := p.Words
+	if cap(p.deltaArena) < n*w {
+		p.deltaArena = make([]uint64, 0, n*w)
+	}
+	p.deltaArena = p.deltaArena[:0]
+	for j := 0; j < n; {
+		row := g.InRow(j)
+		end := j + 1
+		for end < n && rowsEq(g.InRow(end), row) {
+			end++
+		}
+		fold := len(p.Segs)
+		base, baseBits := -1, 1
+		for i := range p.Segs {
+			s := &p.Segs[i]
+			srow := g.InRow(s.Start)
+			if rowsEq(srow, row) {
+				fold = i
+				break
+			}
+			if s.Fold == i && rowSubset(srow, row) {
+				if pc := rowCount(srow); pc > baseBits {
+					base, baseBits = i, pc
+				}
+			}
+		}
+		seg := MaskSeg{Start: j, End: end, Fold: fold, Base: -1}
+		if fold == len(p.Segs) && base >= 0 {
+			seg.Base = base
+			off := len(p.deltaArena)
+			bm := g.InRow(p.Segs[base].Start)
+			for x := 0; x < w; x++ {
+				p.deltaArena = append(p.deltaArena, row[x]&^bm[x])
+			}
+			seg.Delta = uint64(off)
+		}
+		p.Segs = append(p.Segs, seg)
+		j = end
+	}
 }
 
 // BatchStepper is an optional DenseAlgorithm capability: step every run
@@ -629,12 +764,15 @@ func (r *BatchRunner) admitPlan(e *planEntry) {
 }
 
 // maskHash hashes the graph's in-mask rows (FNV-1a over words) for the
-// doorkeeper and for cheap pending-entry comparison.
+// doorkeeper and for cheap pending-entry comparison. Single-word graphs
+// hash one word per node — the exact pre-multi-word sequence.
 func maskHash(g graph.Graph) uint64 {
 	h := uint64(14695981039346656037)
 	for j, n := 0, g.N(); j < n; j++ {
-		h ^= g.InMask(j)
-		h *= 1099511628211
+		for _, m := range g.InRow(j) {
+			h ^= m
+			h *= 1099511628211
+		}
 	}
 	return h
 }

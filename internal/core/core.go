@@ -17,9 +17,24 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/graph"
 )
+
+// appendInbox appends the messages of node j's in-neighbors in g to inbox
+// in ascending sender order — the order every Deliver contract (and the
+// dense steppers' bit-identity contract) is pinned to. The row is iterated
+// word by word, so the walk is popcount-driven at any graph width.
+func appendInbox(inbox, msgs []Message, g graph.Graph, j int) []Message {
+	for wi, m := range g.InRow(j) {
+		base := wi * 64
+		for ; m != 0; m &= m - 1 {
+			inbox = append(inbox, msgs[base+bits.TrailingZeros64(m)])
+		}
+	}
+	return inbox
+}
 
 // Message is what an agent broadcasts in a round. Value carries the
 // consensus variable y_i; Aux optionally carries extra algorithm state
@@ -179,13 +194,7 @@ func (c *Config) Step(g graph.Graph) *Config {
 	inbox := make([]Message, 0, c.n)
 	for j := 0; j < c.n; j++ {
 		next[j] = c.agents[j].Clone()
-		inbox = inbox[:0]
-		m := g.InMask(j)
-		for i := 0; i < c.n; i++ {
-			if m&(1<<uint(i)) != 0 {
-				inbox = append(inbox, msgs[i])
-			}
-		}
+		inbox = appendInbox(inbox[:0], msgs, g, j)
 		next[j].Deliver(round, inbox)
 	}
 	return &Config{n: c.n, round: round, alg: c.alg, agents: next}
@@ -206,13 +215,7 @@ func (c *Config) StepInPlace(g graph.Graph) {
 		msgs[i].From = i
 	}
 	for j, a := range c.agents {
-		inbox = inbox[:0]
-		m := g.InMask(j)
-		for i := 0; i < c.n; i++ {
-			if m&(1<<uint(i)) != 0 {
-				inbox = append(inbox, msgs[i])
-			}
-		}
+		inbox = appendInbox(inbox[:0], msgs, g, j)
 		a.Deliver(c.round, inbox)
 	}
 	c.inboxScratch = inbox[:0]
@@ -270,13 +273,7 @@ func (c *Config) StepInto(dst *Config, g graph.Graph) {
 			d = c.agents[j].Clone()
 			dst.agents[j] = d
 		}
-		inbox = inbox[:0]
-		m := g.InMask(j)
-		for i := 0; i < c.n; i++ {
-			if m&(1<<uint(i)) != 0 {
-				inbox = append(inbox, msgs[i])
-			}
-		}
+		inbox = appendInbox(inbox[:0], msgs, g, j)
 		d.Deliver(round, inbox)
 	}
 	dst.inboxScratch = inbox[:0]

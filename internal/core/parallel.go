@@ -173,8 +173,10 @@ type stepArena struct {
 
 // stepTask is one shard of a round. With a plan entry it is a cluster
 // shard: the run subset runs stepped through e's segmentation, over
-// segment range [segLo, segHi) when segHi > 0 (a fold shard) or the
-// full segmentation otherwise. Without an entry it is a generic shard:
+// segment range [segLo, segHi) when segHi > 0 (a fold shard), over the
+// word-aligned receiver range [recvLo, recvHi) when recvHi > 0 (a
+// receiver shard of a multi-word plan), or the full segmentation
+// otherwise. Without an entry it is a generic shard:
 // the runs stepped one by one through the runner's persistent views
 // (deferred singletons, and whole rounds of algorithms with no
 // BatchStepper). hullDone reports whether the task delivered the
@@ -184,6 +186,8 @@ type stepTask struct {
 	runs     []int
 	segLo    int
 	segHi    int
+	recvLo   int
+	recvHi   int
 	hullDone bool
 }
 
@@ -315,6 +319,52 @@ func (r *BatchRunner) expandSegShards(par int) {
 	}
 	j.spare = j.tasks
 	j.tasks = split
+	r.expandWordShards(par)
+}
+
+// expandWordShards splits cluster tasks along the fourth shard axis —
+// word-aligned receiver ranges within a fold — when neither run nor
+// segment sharding could fill the worker budget: the very-large-n,
+// few-runs, few-segments regime (one wide graph stepping a handful of
+// runs), where a segment spans many mask words and its receiver writes
+// dominate. Only multi-word plans of fold-shardable steppers split here;
+// each receiver shard intersects every segment with its word-aligned
+// receiver range and computes the folds it needs shard-locally from their
+// masks (no cross-segment reuse — the canonical owner may lie outside the
+// shard's receivers), which is bit-transparent for exact min/max
+// selections exactly like segment shards' boundary refolds.
+func (r *BatchRunner) expandWordShards(par int) {
+	j := &r.job
+	if !r.segOK || len(j.tasks) >= par {
+		return
+	}
+	n := r.cur.n
+	per := (par + len(j.tasks) - 1) / len(j.tasks)
+	split := j.spare[:0]
+	for _, t := range j.tasks {
+		s := 0
+		if t.e != nil && t.segHi == 0 {
+			s = t.e.plan.Words
+		}
+		if s > per {
+			s = per
+		}
+		if s <= 1 {
+			split = append(split, t)
+			continue
+		}
+		words := t.e.plan.Words
+		for k := 0; k < s; k++ {
+			t.recvLo = k * words / s * 64
+			t.recvHi = (k + 1) * words / s * 64
+			if t.recvHi > n {
+				t.recvHi = n
+			}
+			split = append(split, t)
+		}
+	}
+	j.spare = j.tasks
+	j.tasks = split
 }
 
 // runTasks executes the round's task list: the coordinator always
@@ -389,7 +439,9 @@ func (r *BatchRunner) runTask(t *stepTask, a *stepArena) {
 	p := &t.e.plan
 	sh := &a.shadow
 	sh.G = p.G
+	sh.Words = p.Words
 	sh.Segs = p.Segs
+	sh.deltaArena = p.deltaArena
 	if cap(sh.F0) < len(p.Segs) {
 		sh.F0 = make([]float64, len(p.Segs))
 		sh.F1 = make([]float64, len(p.Segs))
@@ -397,15 +449,17 @@ func (r *BatchRunner) runTask(t *stepTask, a *stepArena) {
 	sh.F0, sh.F1 = sh.F0[:len(p.Segs)], sh.F1[:len(p.Segs)]
 	sh.Runs = t.runs
 	sh.SegLo, sh.SegHi = t.segLo, t.segHi
-	// A fold shard covers only part of each run's output, so it cannot
-	// fold the hull; the round falls back to the post-swap scan.
-	sh.WantHull = j.wantHull && t.segHi == 0
+	sh.RecvLo, sh.RecvHi = t.recvLo, t.recvHi
+	// A fold or receiver shard covers only part of each run's output, so
+	// it cannot fold the hull; the round falls back to the post-swap scan.
+	sh.WantHull = j.wantHull && t.segHi == 0 && t.recvHi == 0
 	sh.HullLo, sh.HullHi = r.hull.lo, r.hull.hi
 	sh.HullDone = false
 	r.bs.StepDenseBatch(r.next, r.cur, sh)
 	t.hullDone = sh.HullDone
-	sh.Runs, sh.Segs = nil, nil
+	sh.Runs, sh.Segs, sh.deltaArena = nil, nil, nil
 	sh.WantHull, sh.HullDone = false, false
 	sh.HullLo, sh.HullHi = nil, nil
 	sh.SegLo, sh.SegHi = 0, 0
+	sh.RecvLo, sh.RecvHi = 0, 0
 }

@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests at the word boundaries: every mask-kernel result is
+// checked against an independent math/big implementation of the same
+// operation, at n one below, at, and one above each word boundary the
+// multi-word layout can cross (63/64/65, 127/128, 256, 1024). The big.Int
+// reference shares no code with the word-sliced kernels — in particular
+// RootsSet goes through the SCC condensation for n > 64 while the
+// reference runs plain reachability closures, so an agreement here is an
+// agreement between two genuinely different algorithms.
+
+var boundaryNs = []int{63, 64, 65, 127, 128, 256, 1024}
+
+// bigGraph is the reference representation: row j holds bit i iff i is an
+// in-neighbor of j (edge i -> j), the same convention as Graph.
+type bigGraph struct {
+	n    int
+	rows []*big.Int
+}
+
+func toBig(g Graph) bigGraph {
+	n := g.N()
+	rows := make([]*big.Int, n)
+	word := new(big.Int)
+	for j := 0; j < n; j++ {
+		acc := new(big.Int)
+		for wi, m := range g.InRow(j) {
+			word.SetUint64(m)
+			word.Lsh(word, uint(wi*64))
+			acc.Or(acc, word)
+		}
+		rows[j] = acc
+	}
+	return bigGraph{n: n, rows: rows}
+}
+
+func (b bigGraph) equal(g Graph) bool {
+	other := toBig(g)
+	for j := range b.rows {
+		if b.rows[j].Cmp(other.rows[j]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// product is the reference g∘h: edge (i, j) iff some k has (i, k) in g
+// and (k, j) in h — row j of the product ORs g's row k for every k in
+// h's row j.
+func refProduct(g, h bigGraph) bigGraph {
+	rows := make([]*big.Int, g.n)
+	for j := 0; j < g.n; j++ {
+		acc := new(big.Int)
+		hr := h.rows[j]
+		for k := 0; k < g.n; k++ {
+			if hr.Bit(k) == 1 {
+				acc.Or(acc, g.rows[k])
+			}
+		}
+		rows[j] = acc
+	}
+	return bigGraph{n: g.n, rows: rows}
+}
+
+// refRoots computes the root set by reachability closure: square the
+// in-closure matrix until it stops growing, then intersect all rows — a
+// node that is in every node's in-closure reaches every node.
+func refRoots(g bigGraph) *big.Int {
+	cl := bigGraph{n: g.n, rows: make([]*big.Int, g.n)}
+	for j := range cl.rows {
+		cl.rows[j] = new(big.Int).SetBit(g.rows[j], j, 1)
+	}
+	for {
+		next := refProduct(cl, cl)
+		grew := false
+		for j := range next.rows {
+			if next.rows[j].Cmp(cl.rows[j]) != 0 {
+				grew = true
+				break
+			}
+		}
+		cl = next
+		if !grew {
+			break
+		}
+	}
+	inter := new(big.Int).Set(cl.rows[0])
+	for _, r := range cl.rows[1:] {
+		inter.And(inter, r)
+	}
+	return inter
+}
+
+func refNonSplit(g bigGraph) bool {
+	meet := new(big.Int)
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			if meet.And(g.rows[i], g.rows[j]).Sign() == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// setToBig converts a word-sliced node set to the reference integer.
+func setToBig(s []uint64) *big.Int {
+	acc := new(big.Int)
+	word := new(big.Int)
+	for wi, m := range s {
+		word.SetUint64(m)
+		word.Lsh(word, uint(wi*64))
+		acc.Or(acc, word)
+	}
+	return acc
+}
+
+// boundaryGraphs returns a deterministic pool per n: structured graphs
+// whose properties are known plus random ones at two densities. Density
+// scales down with n so the 1024-node cases stay sparse enough for the
+// closure reference to converge in a few squarings without the test
+// taking seconds.
+func boundaryGraphs(n int) []Graph {
+	rng := rand.New(rand.NewSource(int64(n)))
+	p := 8.0 / float64(n)
+	gs := []Graph{
+		New(n),
+		Complete(n),
+		Cycle(n),
+		Star(n, n/2),
+		Random(rng, n, p),
+		Random(rng, n, 3*p),
+	}
+	if n <= 128 {
+		gs = append(gs, Random(rng, n, 0.5), Deaf(Complete(n), n-1))
+	}
+	return gs
+}
+
+func TestBoundaryProductVsBig(t *testing.T) {
+	for _, n := range boundaryNs {
+		gs := boundaryGraphs(n)
+		for i := 0; i+1 < len(gs); i++ {
+			g, h := gs[i], gs[i+1]
+			got := Product(g, h)
+			want := refProduct(toBig(g), toBig(h))
+			if !want.equal(got) {
+				t.Fatalf("n=%d: Product(gs[%d], gs[%d]) disagrees with the big.Int reference", n, i, i+1)
+			}
+		}
+	}
+}
+
+func TestBoundaryDiameterClosureVsBig(t *testing.T) {
+	// Repeated self-product doubles the path length covered each step;
+	// after ceil(log2(n)) squarings the product is the full closure of
+	// the reflexive graph. Compare the kernel against the reference at
+	// every intermediate power, not just the fixpoint.
+	for _, n := range boundaryNs {
+		rng := rand.New(rand.NewSource(int64(2 * n)))
+		g := Random(rng, n, 4.0/float64(n))
+		ref := toBig(g)
+		for step := 0; step < 4; step++ {
+			g = Product(g, g)
+			ref = refProduct(ref, ref)
+			if !ref.equal(g) {
+				t.Fatalf("n=%d: squaring step %d disagrees with the big.Int reference", n, step+1)
+			}
+		}
+	}
+}
+
+func TestBoundaryRootsVsBig(t *testing.T) {
+	for _, n := range boundaryNs {
+		for i, g := range boundaryGraphs(n) {
+			got := setToBig(g.RootsSet())
+			want := refRoots(toBig(g))
+			if got.Cmp(want) != 0 {
+				t.Fatalf("n=%d gs[%d]: RootsSet disagrees with the big.Int closure reference", n, i)
+			}
+			if g.IsRooted() != (want.Sign() != 0) {
+				t.Fatalf("n=%d gs[%d]: IsRooted disagrees with the reference root set", n, i)
+			}
+		}
+	}
+}
+
+func TestBoundaryNonSplitVsBig(t *testing.T) {
+	for _, n := range boundaryNs {
+		for i, g := range boundaryGraphs(n) {
+			if got, want := g.IsNonSplit(), refNonSplit(toBig(g)); got != want {
+				t.Fatalf("n=%d gs[%d]: IsNonSplit = %v, reference says %v", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBoundarySetIterationVsBig(t *testing.T) {
+	for _, n := range boundaryNs {
+		for i, g := range boundaryGraphs(n) {
+			roots := g.RootsSet()
+			ref := setToBig(roots)
+			nodes := SetToNodes(roots)
+			if len(nodes) != SetCount(roots) {
+				t.Fatalf("n=%d gs[%d]: SetToNodes yields %d nodes, SetCount says %d", n, i, len(nodes), SetCount(roots))
+			}
+			count := 0
+			for b := 0; b < n; b++ {
+				if ref.Bit(b) == 1 {
+					if count >= len(nodes) || nodes[count] != b {
+						t.Fatalf("n=%d gs[%d]: SetToNodes misses or misorders bit %d", n, i, b)
+					}
+					count++
+				}
+			}
+			if count != len(nodes) {
+				t.Fatalf("n=%d gs[%d]: SetToNodes has %d extra nodes", n, i, len(nodes)-count)
+			}
+		}
+	}
+}
+
+func TestBoundaryMaskKeyBytesVsBig(t *testing.T) {
+	// AppendMaskKey must serialize each row as exactly WordsFor(n)
+	// little-endian words, rows in node order — the identity the plan
+	// cache, the trace codec, and the sweep cache all key on.
+	for _, n := range boundaryNs {
+		w := WordsFor(n)
+		for i, g := range boundaryGraphs(n) {
+			key := g.AppendMaskKey(nil)
+			if len(key) != n*w*8 {
+				t.Fatalf("n=%d gs[%d]: mask key is %d bytes, want %d", n, i, len(key), n*w*8)
+			}
+			ref := toBig(g)
+			for j := 0; j < n; j++ {
+				row := key[j*w*8 : (j+1)*w*8]
+				be := make([]byte, len(row))
+				for k, b := range row {
+					be[len(row)-1-k] = b
+				}
+				if new(big.Int).SetBytes(be).Cmp(ref.rows[j]) != 0 {
+					t.Fatalf("n=%d gs[%d]: mask key row %d is not the row's little-endian words", n, i, j)
+				}
+			}
+		}
+	}
+}

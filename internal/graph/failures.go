@@ -15,6 +15,16 @@ import (
 // is what puts these classical systems inside the scope of the paper's
 // non-split bounds (Theorem 2 and the midpoint algorithm's matching 1/2).
 
+// check64 panics when n exceeds one mask word: the classical failure-model
+// generators take uint64 node sets in their signatures and stay capped at
+// 64 agents (the large-n plane has no use for them; scenario churn covers
+// crash-style dynamics there).
+func check64(n int, op string) {
+	if n > wordBits {
+		panic(fmt.Sprintf("graph: %s supports n <= 64, got %d", op, n))
+	}
+}
+
 // SynchronousCrashRound returns the communication graph of one synchronous
 // round in which the agents in the crashed set have crashed earlier (send
 // nothing) and the agents in the crashing set crash during this round's
@@ -28,6 +38,9 @@ import (
 // graph is non-split.
 func SynchronousCrashRound(n int, crashed uint64, crashing map[int]uint64) (Graph, error) {
 	checkN(n)
+	if n > wordBits {
+		return Graph{}, fmt.Errorf("graph: SynchronousCrashRound supports n <= 64, got %d", n)
+	}
 	all := fullMask(n)
 	if crashed&^all != 0 {
 		return Graph{}, fmt.Errorf("graph: crashed set references nodes >= %d", n)
@@ -68,6 +81,7 @@ func SynchronousCrashRound(n int, crashed uint64, crashing map[int]uint64) (Grap
 // correct agent.
 func RandomSynchronousCrashRound(rng *rand.Rand, n, fPrior, f int) Graph {
 	checkN(n)
+	check64(n, "RandomSynchronousCrashRound")
 	if fPrior+f >= n {
 		panic(fmt.Sprintf("graph: crash budget %d+%d must stay below n=%d", fPrior, f, n))
 	}
@@ -99,6 +113,9 @@ func RandomSynchronousCrashRound(rng *rand.Rand, n, fPrior, f int) Graph {
 // nodes hears every correct agent.
 func SendOmissionRound(n int, omit map[int]uint64) (Graph, error) {
 	checkN(n)
+	if n > wordBits {
+		return Graph{}, fmt.Errorf("graph: SendOmissionRound supports n <= 64, got %d", n)
+	}
 	all := fullMask(n)
 	for i, o := range omit {
 		if i < 0 || i >= n {
@@ -125,6 +142,7 @@ func SendOmissionRound(n int, omit map[int]uint64) (Graph, error) {
 // suffering random send omissions.
 func RandomSendOmissionRound(rng *rand.Rand, n, f int) Graph {
 	checkN(n)
+	check64(n, "RandomSendOmissionRound")
 	if f < 0 || f >= n {
 		panic(fmt.Sprintf("graph: omission budget %d must stay below n=%d", f, n))
 	}
@@ -147,9 +165,10 @@ func RandomSendOmissionRound(rng *rand.Rand, n, f int) Graph {
 func (g Graph) CorrectCount() int {
 	count := 0
 	for i := 0; i < g.n; i++ {
+		wi, bit := i/wordBits, uint64(1)<<uint(i%wordBits)
 		heardByAll := true
 		for j := 0; j < g.n; j++ {
-			if g.in[j]&(1<<uint(i)) == 0 {
+			if g.in[j*g.w+wi]&bit == 0 {
 				heardByAll = false
 				break
 			}
@@ -197,6 +216,7 @@ func minorityCrashQuorumGraph(rng *rand.Rand, n, f int, crashed uint64) Graph {
 // non-split — the asynchronous-minority case of the paper's property (i).
 func RandomAsyncMinorityCrashRound(rng *rand.Rand, n, f int) Graph {
 	checkN(n)
+	check64(n, "RandomAsyncMinorityCrashRound")
 	if f < 0 || 2*f >= n {
 		panic(fmt.Sprintf("graph: RandomAsyncMinorityCrashRound requires 0 <= f < n/2, got f=%d n=%d", f, n))
 	}

@@ -41,16 +41,29 @@ func HFamily() []Graph {
 // Section 5).
 func Deaf(g Graph, i int) Graph {
 	checkNode(g.n, i)
-	in := make([]uint64, g.n)
+	in := make([]uint64, len(g.in))
 	copy(in, g.in)
-	in[i] = 1 << uint(i)
-	return Graph{n: g.n, in: in}
+	row := in[i*g.w : (i+1)*g.w]
+	for wi := range row {
+		row[wi] = 0
+	}
+	row[i/wordBits] = 1 << uint(i%wordBits)
+	return Graph{n: g.n, w: g.w, in: in}
 }
 
 // IsDeaf reports whether agent i is deaf in g, i.e. hears only itself.
 func (g Graph) IsDeaf(i int) bool {
 	checkNode(g.n, i)
-	return g.in[i] == 1<<uint(i)
+	for wi, m := range g.row(i) {
+		want := uint64(0)
+		if wi == i/wordBits {
+			want = 1 << uint(i%wordBits)
+		}
+		if m != want {
+			return false
+		}
+	}
+	return true
 }
 
 // DeafFamily returns deaf(g) = {F_1, ..., F_n} where F_i makes agent i deaf
@@ -132,14 +145,14 @@ func SilenceBlock(n, f, r int) Graph {
 	if lo < 0 || lo >= n {
 		panic(fmt.Sprintf("graph: SilenceBlock block %d out of range for n=%d f=%d", r, n, f))
 	}
-	var blockMask uint64
+	base := make([]uint64, WordsFor(n))
+	fillFull(base, n)
 	for i := lo; i < hi; i++ {
-		blockMask |= 1 << uint(i)
+		base[i/wordBits] &^= 1 << uint(i%wordBits)
 	}
-	base := fullMask(n) &^ blockMask
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
-		b.InMask(i, base|1<<uint(i))
+		b.SetInRow(i, base) // SetInRow restores i's self-loop
 	}
 	return b.Graph()
 }
@@ -186,9 +199,9 @@ func Lemma24Chain(g, h Graph, f int) (hs, ks []Graph, err error) {
 		b := NewBuilder(n)
 		for i := 0; i < n; i++ {
 			if i < r*f {
-				b.InMask(i, h.in[i])
+				b.SetInRow(i, h.row(i))
 			} else {
-				b.InMask(i, g.in[i])
+				b.SetInRow(i, g.row(i))
 			}
 		}
 		hs[r] = b.Graph()

@@ -50,7 +50,7 @@ func EnumerateAll(n int) ([]Graph, error) {
 		}
 		in := make([]uint64, n)
 		copy(in, masks)
-		graphs = append(graphs, Graph{n: n, in: in})
+		graphs = append(graphs, Graph{n: n, w: 1, in: in})
 	}
 	return graphs, nil
 }
@@ -123,13 +123,20 @@ func RandomNonSplit(rng *rand.Rand, n int, p float64) Graph {
 	g := Random(rng, n, p)
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
-		b.InMask(i, g.in[i])
+		b.SetInRow(i, g.row(i))
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			gi := b.in[i]
-			gj := b.in[j]
-			if gi&gj == 0 {
+			gi := b.row(i)
+			gj := b.row(j)
+			meet := false
+			for wi := range gi {
+				if gi[wi]&gj[wi] != 0 {
+					meet = true
+					break
+				}
+			}
+			if !meet {
 				k := rng.Intn(n)
 				b.Edge(k, i)
 				b.Edge(k, j)
@@ -156,7 +163,6 @@ func RandomExactInDegree(rng *rand.Rand, n, f int) Graph {
 	}
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
-		mask := uint64(1) << uint(i)
 		perm := rng.Perm(n)
 		picked := 0
 		for _, j := range perm {
@@ -166,10 +172,9 @@ func RandomExactInDegree(rng *rand.Rand, n, f int) Graph {
 			if j == i {
 				continue
 			}
-			mask |= 1 << uint(j)
+			b.Edge(j, i)
 			picked++
 		}
-		b.InMask(i, mask)
 	}
 	return b.Graph()
 }
@@ -183,12 +188,13 @@ func RandomMinInDegree(rng *rand.Rand, n, f int) Graph {
 		panic(fmt.Sprintf("graph: RandomMinInDegree requires 0 <= f < n, got f=%d n=%d", f, n))
 	}
 	b := NewBuilder(n)
+	row := make([]uint64, WordsFor(n))
 	for i := 0; i < n; i++ {
 		// Choose how many agents to drop (0..f, but never drop self).
 		drop := rng.Intn(f + 1)
 		perm := rng.Perm(n)
 		dropped := 0
-		mask := fullMask(n)
+		fillFull(row, n)
 		for _, j := range perm {
 			if dropped == drop {
 				break
@@ -196,10 +202,10 @@ func RandomMinInDegree(rng *rand.Rand, n, f int) Graph {
 			if j == i {
 				continue
 			}
-			mask &^= 1 << uint(j)
+			row[j/wordBits] &^= 1 << uint(j%wordBits)
 			dropped++
 		}
-		b.InMask(i, mask)
+		b.SetInRow(i, row)
 	}
 	return b.Graph()
 }

@@ -8,9 +8,15 @@
 // graph carries a mandatory self-loop at each node: an agent always hears
 // itself (paper, Section 2).
 //
-// Graphs are represented by one in-neighbor bitmask per node, which makes
-// the graph product, root computation, and the non-split predicate
-// word-parallel. The number of agents is capped at MaxNodes = 64.
+// Graphs are represented by one in-neighbor bit row per node, sliced into
+// W = ⌈n/64⌉ machine words, which makes the graph product, root
+// computation, and the non-split predicate word-parallel. The number of
+// agents is capped at MaxNodes = 1024 (W <= 16). For n <= 64 the row is a
+// single word and the classic uint64 mask API (InMask, Roots, ReachMask,
+// ...) applies unchanged; for larger n those accessors panic and the
+// word-sliced API (InRow, RootsSet, ReachSet, ...) is the one to use.
+// Single-word graphs keep dedicated fast paths so the n <= 64 kernels run
+// the exact pre-multi-word code.
 //
 // A Graph value is immutable after construction. Use a Builder, one of the
 // named constructors (Complete, Cycle, ...), or the paper-specific families
@@ -25,23 +31,41 @@ import (
 	"strings"
 )
 
-// MaxNodes is the maximum number of agents supported by the bitmask
-// representation.
-const MaxNodes = 64
+// MaxNodes is the maximum number of agents supported by the word-sliced
+// bitmask representation.
+const MaxNodes = 1024
+
+// wordBits is the size of one mask word.
+const wordBits = 64
+
+// WordsFor returns W = ⌈n/64⌉, the number of mask words per node row for a
+// graph on n nodes.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
 
 // Graph is an immutable directed communication graph with mandatory
 // self-loops. The zero value is not a valid graph; use New or a Builder.
 type Graph struct {
 	n  int
-	in []uint64 // in[j] = bitmask of in-neighbors of j, bit j always set
+	w  int      // words per row, WordsFor(n)
+	in []uint64 // row-major: node j's in-row is in[j*w : (j+1)*w], bit j set
 }
 
-// fullMask returns the bitmask with bits 0..n-1 set.
+// fullMask returns the single-word bitmask with bits 0..n-1 set (n <= 64).
 func fullMask(n int) uint64 {
 	if n == 64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << uint(n)) - 1
+}
+
+// fillFull sets row to the full node set {0..n-1}. len(row) = WordsFor(n).
+func fillFull(row []uint64, n int) {
+	for wi := range row {
+		row[wi] = ^uint64(0)
+	}
+	if tail := n % wordBits; tail != 0 {
+		row[len(row)-1] = fullMask(tail)
+	}
 }
 
 // checkN panics unless 1 <= n <= MaxNodes. Invalid sizes are programmer
@@ -59,27 +83,47 @@ func checkNode(n, i int) {
 	}
 }
 
+// single panics unless the graph fits one mask word. It guards the legacy
+// uint64 accessors, which cannot express nodes >= 64.
+func (g Graph) single(op string) {
+	if g.w > 1 {
+		panic(fmt.Sprintf("graph: %s requires n <= 64, got n=%d; use the word-sliced API", op, g.n))
+	}
+}
+
+// row returns node j's in-row storage (not a copy).
+func (g Graph) row(j int) []uint64 {
+	return g.in[j*g.w : (j+1)*g.w : (j+1)*g.w]
+}
+
+// selfLoops returns a fresh row-major mask slab for n nodes with exactly
+// the self-loop bits set.
+func selfLoops(n int) []uint64 {
+	w := WordsFor(n)
+	in := make([]uint64, n*w)
+	for i := 0; i < n; i++ {
+		in[i*w+i/wordBits] |= 1 << uint(i%wordBits)
+	}
+	return in
+}
+
 // New returns the identity graph on n nodes: self-loops only. In the
 // dynamic-network model this is the round in which nobody hears anybody.
 func New(n int) Graph {
 	checkN(n)
-	in := make([]uint64, n)
-	for i := range in {
-		in[i] = 1 << uint(i)
-	}
-	return Graph{n: n, in: in}
+	return Graph{n: n, w: WordsFor(n), in: selfLoops(n)}
 }
 
 // Complete returns the complete communication graph K_n: every agent hears
 // every agent.
 func Complete(n int) Graph {
 	checkN(n)
-	in := make([]uint64, n)
-	all := fullMask(n)
-	for i := range in {
-		in[i] = all
+	w := WordsFor(n)
+	in := make([]uint64, n*w)
+	for i := 0; i < n; i++ {
+		fillFull(in[i*w:(i+1)*w], n)
 	}
-	return Graph{n: n, in: in}
+	return Graph{n: n, w: w, in: in}
 }
 
 // Cycle returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0 (plus
@@ -114,11 +158,14 @@ func Star(n, c int) Graph {
 	return b.Graph()
 }
 
-// FromInMasks constructs a graph directly from in-neighbor bitmasks.
-// It returns an error if a mask references a node >= n or misses the
-// mandatory self-loop.
+// FromInMasks constructs a graph directly from single-word in-neighbor
+// bitmasks (n <= 64; larger graphs use FromInWords). It returns an error if
+// a mask references a node >= n or misses the mandatory self-loop.
 func FromInMasks(n int, masks []uint64) (Graph, error) {
 	checkN(n)
+	if n > wordBits {
+		return Graph{}, fmt.Errorf("graph: FromInMasks supports n <= 64, got %d; use FromInWords", n)
+	}
 	if len(masks) != n {
 		return Graph{}, fmt.Errorf("graph: got %d masks for %d nodes", len(masks), n)
 	}
@@ -133,25 +180,49 @@ func FromInMasks(n int, masks []uint64) (Graph, error) {
 		}
 		in[i] = m
 	}
-	return Graph{n: n, in: in}, nil
+	return Graph{n: n, w: 1, in: in}, nil
+}
+
+// FromInWords constructs a graph from row-major word-sliced in-rows: node
+// j's in-neighbors occupy words[j*W : (j+1)*W] with W = WordsFor(n),
+// little-endian within the row (bit i of word i/64). It returns an error
+// if a row references a node >= n (a set bit above the tail) or misses the
+// mandatory self-loop. For n <= 64 this is FromInMasks with W = 1.
+func FromInWords(n int, words []uint64) (Graph, error) {
+	checkN(n)
+	w := WordsFor(n)
+	if len(words) != n*w {
+		return Graph{}, fmt.Errorf("graph: got %d words for %d nodes x %d words", len(words), n, w)
+	}
+	tail := n % wordBits
+	in := make([]uint64, n*w)
+	copy(in, words)
+	for i := 0; i < n; i++ {
+		row := in[i*w : (i+1)*w]
+		if tail != 0 && row[w-1]&^fullMask(tail) != 0 {
+			return Graph{}, fmt.Errorf("graph: row of node %d references nodes >= %d", i, n)
+		}
+		if row[i/wordBits]&(1<<uint(i%wordBits)) == 0 {
+			return Graph{}, fmt.Errorf("graph: node %d is missing its self-loop", i)
+		}
+	}
+	return Graph{n: n, w: w, in: in}, nil
 }
 
 // FromEdges constructs a graph on n nodes from the given (from, to) edge
 // list. Self-loops are added automatically and need not be listed.
 func FromEdges(n int, edges ...[2]int) (Graph, error) {
 	checkN(n)
-	in := make([]uint64, n)
-	for i := range in {
-		in[i] = 1 << uint(i)
-	}
+	w := WordsFor(n)
+	in := selfLoops(n)
 	for _, e := range edges {
 		from, to := e[0], e[1]
 		if from < 0 || from >= n || to < 0 || to >= n {
 			return Graph{}, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", from, to, n)
 		}
-		in[to] |= 1 << uint(from)
+		in[to*w+from/wordBits] |= 1 << uint(from%wordBits)
 	}
-	return Graph{n: n, in: in}, nil
+	return Graph{n: n, w: w, in: in}, nil
 }
 
 // MustFromEdges is FromEdges that panics on error; intended for statically
@@ -168,18 +239,20 @@ func MustFromEdges(n int, edges ...[2]int) Graph {
 // call NewBuilder.
 type Builder struct {
 	n  int
-	in []uint64
+	w  int
+	in []uint64 // row-major, like Graph.in
 }
 
 // NewBuilder returns a Builder for a graph on n nodes, pre-populated with
 // the mandatory self-loops.
 func NewBuilder(n int) *Builder {
 	checkN(n)
-	in := make([]uint64, n)
-	for i := range in {
-		in[i] = 1 << uint(i)
-	}
-	return &Builder{n: n, in: in}
+	return &Builder{n: n, w: WordsFor(n), in: selfLoops(n)}
+}
+
+// row returns node i's in-row storage (not a copy).
+func (b *Builder) row(i int) []uint64 {
+	return b.in[i*b.w : (i+1)*b.w : (i+1)*b.w]
 }
 
 // Edge adds the directed edge from -> to and returns the builder for
@@ -187,64 +260,125 @@ func NewBuilder(n int) *Builder {
 func (b *Builder) Edge(from, to int) *Builder {
 	checkNode(b.n, from)
 	checkNode(b.n, to)
-	b.in[to] |= 1 << uint(from)
+	b.in[to*b.w+from/wordBits] |= 1 << uint(from%wordBits)
 	return b
 }
 
-// InMask sets the whole in-neighbor mask of node i (the self-loop is forced
-// back on) and returns the builder.
+// InMask sets the whole in-neighbor mask of node i from a single word (the
+// self-loop is forced back on) and returns the builder. It panics for
+// n > 64; use SetInRow there.
 func (b *Builder) InMask(i int, mask uint64) *Builder {
 	checkNode(b.n, i)
+	if b.w > 1 {
+		panic(fmt.Sprintf("graph: Builder.InMask requires n <= 64, got n=%d; use SetInRow", b.n))
+	}
 	b.in[i] = (mask & fullMask(b.n)) | 1<<uint(i)
+	return b
+}
+
+// SetInRow sets the whole in-neighbor row of node i from a word slice of
+// length WordsFor(n) (bits above n-1 are dropped, the self-loop is forced
+// back on) and returns the builder. The row is copied.
+func (b *Builder) SetInRow(i int, row []uint64) *Builder {
+	checkNode(b.n, i)
+	if len(row) != b.w {
+		panic(fmt.Sprintf("graph: SetInRow got %d words, want %d", len(row), b.w))
+	}
+	dst := b.row(i)
+	copy(dst, row)
+	if tail := b.n % wordBits; tail != 0 {
+		dst[b.w-1] &= fullMask(tail)
+	}
+	dst[i/wordBits] |= 1 << uint(i%wordBits)
 	return b
 }
 
 // Graph finalizes the builder. The builder remains usable; the returned
 // graph is an independent snapshot.
 func (b *Builder) Graph() Graph {
-	in := make([]uint64, b.n)
+	in := make([]uint64, len(b.in))
 	copy(in, b.in)
-	return Graph{n: b.n, in: in}
+	return Graph{n: b.n, w: b.w, in: in}
 }
 
 // N returns the number of nodes.
 func (g Graph) N() int { return g.n }
 
-// InMask returns the in-neighbor bitmask of node i (bit i always set).
-func (g Graph) InMask(i int) uint64 {
+// Words returns W = ⌈n/64⌉, the number of mask words per node row. It is 1
+// for every n <= 64 graph; kernels dispatch their single-word fast path on
+// it once per graph.
+func (g Graph) Words() int { return g.w }
+
+// inMaskPanic reports why an InMask call was illegal. Kept out of line so
+// InMask itself stays within the inlining budget — it is the hottest
+// accessor in the dense kernels.
+//
+//go:noinline
+func (g Graph) inMaskPanic(i int) uint64 {
 	checkNode(g.n, i)
+	g.single("InMask")
+	panic("unreachable")
+}
+
+// InMask returns the in-neighbor bitmask of node i (bit i always set) as a
+// single word. It panics for n > 64; use InRow there.
+func (g Graph) InMask(i int) uint64 {
+	if uint(i) >= uint(g.n) || g.w != 1 {
+		return g.inMaskPanic(i)
+	}
 	return g.in[i]
+}
+
+// rowPanic is InRow's out-of-line bounds report; see inMaskPanic.
+//
+//go:noinline
+func (g Graph) rowPanic(i int) {
+	checkNode(g.n, i)
+	panic("unreachable")
+}
+
+// InRow returns node i's in-neighbor row: WordsFor(n) little-endian words,
+// bit i of word i/64 always set. The returned slice aliases the graph's
+// immutable storage — callers must not modify it.
+func (g Graph) InRow(i int) []uint64 {
+	if uint(i) >= uint(g.n) {
+		g.rowPanic(i)
+	}
+	j := i * g.w
+	return g.in[j : j+g.w : j+g.w]
 }
 
 // HasEdge reports whether the edge from -> to is present.
 func (g Graph) HasEdge(from, to int) bool {
 	checkNode(g.n, from)
 	checkNode(g.n, to)
-	return g.in[to]&(1<<uint(from)) != 0
+	return g.in[to*g.w+from/wordBits]&(1<<uint(from%wordBits)) != 0
 }
 
 // In returns the sorted in-neighbors of node i (including i itself).
 func (g Graph) In(i int) []int {
 	checkNode(g.n, i)
-	return maskToNodes(g.in[i])
+	return SetToNodes(g.row(i))
 }
 
 // Out returns the sorted out-neighbors of node i (including i itself).
 func (g Graph) Out(i int) []int {
 	checkNode(g.n, i)
 	var out []int
-	bit := uint64(1) << uint(i)
+	wi, bit := i/wordBits, uint64(1)<<uint(i%wordBits)
 	for j := 0; j < g.n; j++ {
-		if g.in[j]&bit != 0 {
+		if g.in[j*g.w+wi]&bit != 0 {
 			out = append(out, j)
 		}
 	}
 	return out
 }
 
-// OutMask returns the out-neighbor bitmask of node i.
+// OutMask returns the out-neighbor bitmask of node i as a single word. It
+// panics for n > 64; use Out or OutDegree there.
 func (g Graph) OutMask(i int) uint64 {
 	checkNode(g.n, i)
+	g.single("OutMask")
 	var m uint64
 	bit := uint64(1) << uint(i)
 	for j := 0; j < g.n; j++ {
@@ -258,7 +392,20 @@ func (g Graph) OutMask(i int) uint64 {
 // InDegree returns the in-degree of node i (counting the self-loop).
 func (g Graph) InDegree(i int) int {
 	checkNode(g.n, i)
-	return bits.OnesCount64(g.in[i])
+	return SetCount(g.row(i))
+}
+
+// OutDegree returns the out-degree of node i (counting the self-loop).
+func (g Graph) OutDegree(i int) int {
+	checkNode(g.n, i)
+	d := 0
+	wi, bit := i/wordBits, uint64(1)<<uint(i%wordBits)
+	for j := 0; j < g.n; j++ {
+		if g.in[j*g.w+wi]&bit != 0 {
+			d++
+		}
+	}
+	return d
 }
 
 // EdgeCount returns the total number of edges, self-loops included.
@@ -275,11 +422,16 @@ func (g Graph) EdgeCount() int {
 func (g Graph) Edges() [][2]int {
 	var edges [][2]int
 	for j := 0; j < g.n; j++ {
-		m := g.in[j] &^ (1 << uint(j))
-		for m != 0 {
-			i := bits.TrailingZeros64(m)
-			m &= m - 1
-			edges = append(edges, [2]int{i, j})
+		row := g.row(j)
+		for wi, m := range row {
+			if wi == j/wordBits {
+				m &^= 1 << uint(j%wordBits)
+			}
+			for m != 0 {
+				i := wi*wordBits + bits.TrailingZeros64(m)
+				m &= m - 1
+				edges = append(edges, [2]int{i, j})
+			}
 		}
 	}
 	sort.Slice(edges, func(a, b int) bool {
@@ -318,7 +470,8 @@ func (g Graph) Same(h Graph) bool {
 // the cheap canonical byte identity (the representation the trace codec
 // dedups on, an order of magnitude cheaper than the formatted Key).
 // Equal graphs produce equal bytes; the node count is implied by the
-// length (8 bytes per node).
+// length (8*W bytes per node, and n*WordsFor(n) is strictly increasing in
+// n, so graphs of different sizes never collide either).
 func (g Graph) AppendMaskKey(dst []byte) []byte {
 	for _, m := range g.in {
 		dst = binary.LittleEndian.AppendUint64(dst, m)
@@ -327,15 +480,22 @@ func (g Graph) AppendMaskKey(dst []byte) []byte {
 }
 
 // Key returns a compact canonical string identifying the graph, suitable
-// for use as a map key. FromKey inverts it.
+// for use as a map key. FromKey inverts it. Single-word graphs render one
+// hex mask per node ("3:7,7,7"); wider rows join their words little-endian
+// first with '-' ("65:1-1,...").
 func (g Graph) Key() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d:", g.n)
-	for i, m := range g.in {
+	for i := 0; i < g.n; i++ {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, "%x", m)
+		for wi, m := range g.row(i) {
+			if wi > 0 {
+				sb.WriteByte('-')
+			}
+			fmt.Fprintf(&sb, "%x", m)
+		}
 	}
 	return sb.String()
 }
@@ -353,17 +513,24 @@ func FromKey(key string) (Graph, error) {
 	if n < 1 || n > MaxNodes {
 		return Graph{}, fmt.Errorf("graph: key %q has invalid node count %d", key, n)
 	}
+	w := WordsFor(n)
 	parts := strings.Split(key[colon+1:], ",")
 	if len(parts) != n {
 		return Graph{}, fmt.Errorf("graph: key %q has %d masks, want %d", key, len(parts), n)
 	}
-	masks := make([]uint64, n)
+	words := make([]uint64, n*w)
 	for i, p := range parts {
-		if _, err := fmt.Sscanf(p, "%x", &masks[i]); err != nil {
-			return Graph{}, fmt.Errorf("graph: malformed mask %q in key: %v", p, err)
+		ws := strings.Split(p, "-")
+		if len(ws) != w {
+			return Graph{}, fmt.Errorf("graph: key row %q has %d words, want %d", p, len(ws), w)
+		}
+		for wi, s := range ws {
+			if _, err := fmt.Sscanf(s, "%x", &words[i*w+wi]); err != nil {
+				return Graph{}, fmt.Errorf("graph: malformed mask %q in key: %v", s, err)
+			}
 		}
 	}
-	return FromInMasks(n, masks)
+	return FromInWords(n, words)
 }
 
 // String renders the graph as an edge list, e.g. "G(3){0->1 1->2}"
@@ -403,18 +570,37 @@ func Product(g, h Graph) Graph {
 	if g.n != h.n {
 		panic(fmt.Sprintf("graph: product of mismatched sizes %d and %d", g.n, h.n))
 	}
-	in := make([]uint64, g.n)
-	for j := 0; j < g.n; j++ {
-		var m uint64
-		hm := h.in[j]
-		for hm != 0 {
-			k := bits.TrailingZeros64(hm)
-			hm &= hm - 1
-			m |= g.in[k]
+	if g.w == 1 {
+		in := make([]uint64, g.n)
+		for j := 0; j < g.n; j++ {
+			var m uint64
+			hm := h.in[j]
+			for hm != 0 {
+				k := bits.TrailingZeros64(hm)
+				hm &= hm - 1
+				m |= g.in[k]
+			}
+			in[j] = m
 		}
-		in[j] = m
+		return Graph{n: g.n, w: 1, in: in}
 	}
-	return Graph{n: g.n, in: in}
+	w := g.w
+	in := make([]uint64, g.n*w)
+	for j := 0; j < g.n; j++ {
+		dst := in[j*w : (j+1)*w]
+		for wi, hm := range h.row(j) {
+			base := wi * wordBits
+			for hm != 0 {
+				k := base + bits.TrailingZeros64(hm)
+				hm &= hm - 1
+				gr := g.row(k)
+				for x := range dst {
+					dst[x] |= gr[x]
+				}
+			}
+		}
+	}
+	return Graph{n: g.n, w: w, in: in}
 }
 
 // ProductAll folds Product over the given graphs left to right. It panics
@@ -431,9 +617,11 @@ func ProductAll(gs ...Graph) Graph {
 }
 
 // ReachMask returns the bitmask of nodes reachable from i by directed paths
-// (including i itself).
+// (including i itself) as a single word. It panics for n > 64; use
+// ReachSet there.
 func (g Graph) ReachMask(i int) uint64 {
 	checkNode(g.n, i)
+	g.single("ReachMask")
 	reach := uint64(1) << uint(i)
 	for {
 		next := reach
@@ -449,9 +637,41 @@ func (g Graph) ReachMask(i int) uint64 {
 	}
 }
 
-// Roots returns the bitmask of roots: nodes with a directed path to every
-// other node. A graph is rooted iff this is nonempty; the paper writes R(G).
+// ReachSet returns the set of nodes reachable from i by directed paths
+// (including i itself) as a word-sliced node set of length WordsFor(n).
+func (g Graph) ReachSet(i int) []uint64 {
+	checkNode(g.n, i)
+	if g.w == 1 {
+		return []uint64{g.ReachMask(i)}
+	}
+	reach := make([]uint64, g.w)
+	reach[i/wordBits] = 1 << uint(i%wordBits)
+	for {
+		grew := false
+		for j := 0; j < g.n; j++ {
+			if reach[j/wordBits]&(1<<uint(j%wordBits)) != 0 {
+				continue
+			}
+			row := g.row(j)
+			for wi, m := range row {
+				if m&reach[wi] != 0 {
+					reach[j/wordBits] |= 1 << uint(j%wordBits)
+					grew = true
+					break
+				}
+			}
+		}
+		if !grew {
+			return reach
+		}
+	}
+}
+
+// Roots returns the bitmask of roots — nodes with a directed path to every
+// other node — as a single word; the paper writes R(G). A graph is rooted
+// iff this is nonempty. It panics for n > 64; use RootsSet there.
 func (g Graph) Roots() uint64 {
+	g.single("Roots")
 	all := fullMask(g.n)
 	var roots uint64
 	for i := 0; i < g.n; i++ {
@@ -462,18 +682,58 @@ func (g Graph) Roots() uint64 {
 	return roots
 }
 
+// RootsSet returns the root set as a word-sliced node set of length
+// WordsFor(n). For multi-word graphs it goes through the condensation
+// (RootsViaSCC's characterization), which stays near-linear instead of
+// running one reachability closure per node.
+func (g Graph) RootsSet() []uint64 {
+	if g.w == 1 {
+		return []uint64{g.Roots()}
+	}
+	return g.sccRootsSet()
+}
+
 // IsRooted reports whether the graph contains a rooted spanning tree, i.e.
 // has at least one root. Asymptotic consensus is solvable in a network
 // model iff all its graphs are rooted (paper, Theorem 1 of Section 2.2).
-func (g Graph) IsRooted() bool { return g.Roots() != 0 }
+func (g Graph) IsRooted() bool {
+	if g.w == 1 {
+		return g.Roots() != 0
+	}
+	for _, m := range g.sccRootsSet() {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // IsNonSplit reports whether any two nodes have a common in-neighbor.
 // Non-split graphs arise as communication graphs of benign classical
 // failure models and admit the midpoint algorithm's 1/2 contraction.
 func (g Graph) IsNonSplit() bool {
+	if g.w == 1 {
+		for i := 0; i < g.n; i++ {
+			for j := i + 1; j < g.n; j++ {
+				if g.in[i]&g.in[j] == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	for i := 0; i < g.n; i++ {
+		ri := g.row(i)
 		for j := i + 1; j < g.n; j++ {
-			if g.in[i]&g.in[j] == 0 {
+			rj := g.row(j)
+			meet := false
+			for wi := range ri {
+				if ri[wi]&rj[wi] != 0 {
+					meet = true
+					break
+				}
+			}
+			if !meet {
 				return false
 			}
 		}
@@ -483,18 +743,14 @@ func (g Graph) IsNonSplit() bool {
 
 // IsComplete reports whether every agent hears every agent.
 func (g Graph) IsComplete() bool {
-	all := fullMask(g.n)
-	for _, m := range g.in {
-		if m != all {
-			return false
-		}
-	}
-	return true
+	return g.EdgeCount() == g.n*g.n
 }
 
 // InMaskSet returns the union of in-neighbor masks over the node set S
-// (given as a bitmask); the paper writes In_S(G).
+// (given as a single-word bitmask); the paper writes In_S(G). It panics
+// for n > 64.
 func (g Graph) InMaskSet(s uint64) uint64 {
+	g.single("InMaskSet")
 	var m uint64
 	for i := 0; i < g.n; i++ {
 		if s&(1<<uint(i)) != 0 {
@@ -505,12 +761,14 @@ func (g Graph) InMaskSet(s uint64) uint64 {
 }
 
 // InsOn reports whether g and h assign identical in-neighborhoods to every
-// node in the set S (bitmask). This is the building block of the alpha
-// relation of Coulouma et al. used in Section 7 of the paper.
+// node in the set S (single-word bitmask). This is the building block of
+// the alpha relation of Coulouma et al. used in Section 7 of the paper. It
+// panics for n > 64; use InsOnSet there.
 func InsOn(g, h Graph, s uint64) bool {
 	if g.n != h.n {
 		return false
 	}
+	g.single("InsOn")
 	for i := 0; i < g.n; i++ {
 		if s&(1<<uint(i)) != 0 && g.in[i] != h.in[i] {
 			return false
@@ -519,7 +777,47 @@ func InsOn(g, h Graph, s uint64) bool {
 	return true
 }
 
-// maskToNodes expands a bitmask into a sorted node slice.
+// InsOnSet reports whether g and h assign identical in-neighborhoods to
+// every node in the word-sliced set s (length WordsFor(n)).
+func InsOnSet(g, h Graph, s []uint64) bool {
+	if g.n != h.n {
+		return false
+	}
+	for wi, m := range s {
+		base := wi * wordBits
+		for m != 0 {
+			i := base + bits.TrailingZeros64(m)
+			m &= m - 1
+			if i >= g.n {
+				break
+			}
+			ri, hi := g.row(i), h.row(i)
+			for x := range ri {
+				if ri[x] != hi[x] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RowsEqual reports whether g and h assign the same in-neighborhood to
+// node i (both graphs must have the same node count).
+func RowsEqual(g, h Graph, i int) bool {
+	if g.n != h.n {
+		return false
+	}
+	ri, hi := g.row(i), h.row(i)
+	for x := range ri {
+		if ri[x] != hi[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// maskToNodes expands a single-word bitmask into a sorted node slice.
 func maskToNodes(m uint64) []int {
 	nodes := make([]int, 0, bits.OnesCount64(m))
 	for m != 0 {
@@ -530,18 +828,74 @@ func maskToNodes(m uint64) []int {
 	return nodes
 }
 
-// MaskToNodes expands a node bitmask into a sorted node slice. Exported for
-// callers that work with Roots or ReachMask results.
+// MaskToNodes expands a single-word node bitmask into a sorted node slice.
+// Exported for callers that work with Roots or ReachMask results.
 func MaskToNodes(m uint64) []int { return maskToNodes(m) }
 
-// NodesToMask packs a node slice into a bitmask.
+// NodesToMask packs a node slice into a single-word bitmask. Nodes must be
+// below 64; use NodesToSet for wider graphs.
 func NodesToMask(nodes []int) uint64 {
 	var m uint64
 	for _, i := range nodes {
-		if i < 0 || i >= MaxNodes {
-			panic(fmt.Sprintf("graph: node %d out of range [0,%d)", i, MaxNodes))
+		if i < 0 || i >= wordBits {
+			panic(fmt.Sprintf("graph: node %d out of range [0,%d)", i, wordBits))
 		}
 		m |= 1 << uint(i)
 	}
 	return m
+}
+
+// SetToNodes expands a word-sliced node set into a sorted node slice.
+func SetToNodes(s []uint64) []int {
+	nodes := make([]int, 0, SetCount(s))
+	for wi, m := range s {
+		base := wi * wordBits
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			nodes = append(nodes, base+i)
+		}
+	}
+	return nodes
+}
+
+// NodesToSet packs a node slice into a word-sliced set of length
+// WordsFor(n).
+func NodesToSet(n int, nodes []int) []uint64 {
+	checkN(n)
+	s := make([]uint64, WordsFor(n))
+	for _, i := range nodes {
+		checkNode(n, i)
+		s[i/wordBits] |= 1 << uint(i%wordBits)
+	}
+	return s
+}
+
+// SetHas reports whether node i is in the word-sliced set s.
+func SetHas(s []uint64, i int) bool {
+	wi := i / wordBits
+	return wi < len(s) && s[wi]&(1<<uint(i%wordBits)) != 0
+}
+
+// SetCount returns the number of nodes in the word-sliced set s.
+func SetCount(s []uint64) int {
+	c := 0
+	for _, m := range s {
+		c += bits.OnesCount64(m)
+	}
+	return c
+}
+
+// SetsEqual reports whether two word-sliced sets of equal length hold the
+// same nodes.
+func SetsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -27,7 +27,7 @@ func TestNewIsIdentity(t *testing.T) {
 }
 
 func TestNewPanicsOnBadSize(t *testing.T) {
-	for _, n := range []int{0, -1, 65} {
+	for _, n := range []int{0, -1, MaxNodes + 1} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -9,15 +9,16 @@ import (
 // topological order of the condensation (every edge between components
 // goes from a later to an earlier component in the returned slice), each
 // component sorted by node id. Tarjan's algorithm, iterative within the
-// recursion via an explicit low-link stack kept small by n <= 64.
+// recursion via an explicit low-link stack.
 //
 // SCC structure underlies root analysis: the roots of a graph are exactly
 // the members of the unique source component of the condensation when
 // that component reaches every other component, and there are no roots
-// otherwise. RootsViaSCC implements that characterization; the test suite
-// cross-validates it against the reachability-based Roots.
+// otherwise. RootsViaSCC (and the multi-word sccRootsSet behind RootsSet)
+// implements that characterization; the test suite cross-validates it
+// against the reachability-based Roots.
 func (g Graph) SCCs() [][]int {
-	n := g.n
+	n, w := g.n, g.w
 	index := make([]int, n)
 	low := make([]int, n)
 	onStack := make([]bool, n)
@@ -28,10 +29,20 @@ func (g Graph) SCCs() [][]int {
 	var comps [][]int
 	counter := 0
 
-	// Out-neighbor masks once, for edge iteration.
-	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		out[i] = g.OutMask(i)
+	// Out-neighbor rows once (the transpose of the in-rows), for edge
+	// iteration.
+	out := make([]uint64, n*w)
+	for j := 0; j < n; j++ {
+		row := g.row(j)
+		jw, jb := j/wordBits, uint64(1)<<uint(j%wordBits)
+		for wi, m := range row {
+			base := wi * wordBits
+			for m != 0 {
+				i := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				out[i*w+jw] |= jb
+			}
+		}
 	}
 
 	var strongconnect func(v int)
@@ -41,30 +52,32 @@ func (g Graph) SCCs() [][]int {
 		counter++
 		stack = append(stack, v)
 		onStack[v] = true
-		m := out[v]
-		for m != 0 {
-			w := bits.TrailingZeros64(m)
-			m &= m - 1
-			if w == v {
-				continue
-			}
-			if index[w] < 0 {
-				strongconnect(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
+		for wi, m := range out[v*w : (v+1)*w] {
+			base := wi * wordBits
+			for m != 0 {
+				u := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				if u == v {
+					continue
 				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
+				if index[u] < 0 {
+					strongconnect(u)
+					if low[u] < low[v] {
+						low[v] = low[u]
+					}
+				} else if onStack[u] && index[u] < low[v] {
+					low[v] = index[u]
+				}
 			}
 		}
 		if low[v] == index[v] {
 			var comp []int
 			for {
-				w := stack[len(stack)-1]
+				u := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				onStack[w] = false
-				comp = append(comp, w)
-				if w == v {
+				onStack[u] = false
+				comp = append(comp, u)
+				if u == v {
 					break
 				}
 			}
@@ -80,12 +93,12 @@ func (g Graph) SCCs() [][]int {
 	return comps
 }
 
-// RootsViaSCC computes the root set through the condensation: a node is a
-// root iff its component reaches every component, which for a DAG holds
-// iff the component is the unique source and its reachable set covers
-// everything.
-func (g Graph) RootsViaSCC() uint64 {
+// sccRootsSet computes the root set through the condensation for any word
+// count: a node is a root iff its component is the unique source of the
+// condensation and that component's reachable set covers everything.
+func (g Graph) sccRootsSet() []uint64 {
 	comps := g.SCCs()
+	empty := make([]uint64, g.w)
 	// Component id per node.
 	id := make([]int, g.n)
 	for ci, comp := range comps {
@@ -96,32 +109,43 @@ func (g Graph) RootsViaSCC() uint64 {
 	// Sources: components with no incoming edge from another component.
 	incoming := make([]bool, len(comps))
 	for j := 0; j < g.n; j++ {
-		m := g.in[j] &^ (1 << uint(j))
-		for m != 0 {
-			i := bits.TrailingZeros64(m)
-			m &= m - 1
-			if id[i] != id[j] {
-				incoming[id[j]] = true
+		for wi, m := range g.row(j) {
+			if wi == j/wordBits {
+				m &^= 1 << uint(j%wordBits)
+			}
+			base := wi * wordBits
+			for m != 0 {
+				i := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				if id[i] != id[j] {
+					incoming[id[j]] = true
+				}
 			}
 		}
 	}
-	var sources []int
+	source := -1
 	for ci, has := range incoming {
 		if !has {
-			sources = append(sources, ci)
+			if source >= 0 {
+				return empty // several sources: nobody reaches everyone
+			}
+			source = ci
 		}
 	}
-	if len(sources) != 1 {
-		return 0 // several sources: nobody reaches everyone
-	}
 	// The single source must reach all nodes.
-	rep := comps[sources[0]][0]
-	if g.ReachMask(rep) != fullMask(g.n) {
-		return 0
+	rep := comps[source][0]
+	if SetCount(g.ReachSet(rep)) != g.n {
+		return empty
 	}
-	var roots uint64
-	for _, v := range comps[sources[0]] {
-		roots |= 1 << uint(v)
-	}
-	return roots
+	return NodesToSet(g.n, comps[source])
+}
+
+// RootsViaSCC computes the root set through the condensation: a node is a
+// root iff its component reaches every component, which for a DAG holds
+// iff the component is the unique source and its reachable set covers
+// everything. It returns a single-word mask and panics for n > 64; use
+// RootsSet there.
+func (g Graph) RootsViaSCC() uint64 {
+	g.single("RootsViaSCC")
+	return g.sccRootsSet()[0]
 }

@@ -87,7 +87,7 @@ func (m *Model) FindDeafTriple() (DeafTriple, bool) {
 			if row == x.agent || row == y.agent {
 				continue
 			}
-			if x.g.InMask(row) != y.g.InMask(row) {
+			if !graph.RowsEqual(x.g, y.g, row) {
 				return false
 			}
 		}

@@ -100,6 +100,12 @@ func FullAsyncRound(n, f int) (*Model, error) {
 	if f < 1 || f >= n {
 		return nil, fmt.Errorf("model: FullAsyncRound requires 0 < f < n, got n=%d f=%d", n, f)
 	}
+	// The subset enumeration below shifts 1<<n, and the member count is
+	// astronomically over the 4096 cap long before n = 64 anyway; reject
+	// wide n up front instead of silently enumerating an empty range.
+	if n > 64 {
+		return nil, fmt.Errorf("model: FullAsyncRound supports n <= 64, got %d", n)
+	}
 	// Per node i: the legal sets of senders i may fail to hear — at most f
 	// of them, never i itself.
 	perNode := make([][]uint64, n)

@@ -146,7 +146,7 @@ func (m *Model) String() string {
 // reflexive and symmetric; the model only contributes the requirement
 // k ∈ N, which the caller asserts by passing a member graph.
 func AlphaRelated(g, h, k graph.Graph) bool {
-	return graph.InsOn(g, h, k.Roots())
+	return graph.InsOnSet(g, h, k.RootsSet())
 }
 
 // bitMatrix is a square symmetric boolean matrix stored as packed 64-bit
@@ -198,21 +198,21 @@ func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 // graphs[members[a]] alpha_{.,k} graphs[members[b]].
 func (m *Model) alphaAdjacency(members, witnesses []int) bitMatrix {
 	// A witness enters the alpha relation only through its root set, so
-	// deduplicating root masks shrinks the inner loop drastically: models
+	// deduplicating root sets shrinks the inner loop drastically: models
 	// like FullAsyncRound(4,1) have 256 witnesses but only a handful of
 	// distinct root sets.
-	rootMasks := make([]uint64, 0, len(witnesses))
+	rootSets := make([][]uint64, 0, len(witnesses))
 	for _, k := range witnesses {
-		roots := m.graphs[k].Roots()
+		roots := m.graphs[k].RootsSet()
 		dup := false
-		for _, seen := range rootMasks {
-			if seen == roots {
+		for _, seen := range rootSets {
+			if graph.SetsEqual(seen, roots) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			rootMasks = append(rootMasks, roots)
+			rootSets = append(rootSets, roots)
 		}
 	}
 	adj := newBitMatrix(len(members))
@@ -220,8 +220,8 @@ func (m *Model) alphaAdjacency(members, witnesses []int) bitMatrix {
 		adj.set(a, a)
 		for b := a + 1; b < len(members); b++ {
 			j := members[b]
-			for _, roots := range rootMasks {
-				if graph.InsOn(m.graphs[i], m.graphs[j], roots) {
+			for _, roots := range rootSets {
+				if graph.InsOnSet(m.graphs[i], m.graphs[j], roots) {
 					adj.set(a, b)
 					adj.set(b, a)
 					break
@@ -351,17 +351,24 @@ func (m *Model) BetaClasses() [][]int {
 
 // SourceIncompatible reports whether the sub-model given by the indices is
 // source-incompatible (Definition 18): the intersection of the root sets
-// of its graphs is empty.
+// of its graphs is empty. An empty index set is vacuously compatible.
 func (m *Model) SourceIncompatible(indices []int) bool {
-	inter := ^uint64(0)
-	for _, i := range indices {
-		inter &= m.graphs[i].Roots()
+	if len(indices) == 0 {
+		return false
 	}
-	return inter == 0
+	inter := append([]uint64(nil), m.graphs[indices[0]].RootsSet()...)
+	for _, i := range indices[1:] {
+		r := m.graphs[i].RootsSet()
+		for w := range inter {
+			inter[w] &= r[w]
+		}
+	}
+	return graph.SetCount(inter) == 0
 }
 
 // CommonRoots returns the bitmask of agents that are roots of every graph
-// in the index set.
+// in the index set. Like every single-word mask API it is valid for
+// n <= 64 models; wider models use CommonRootsSet.
 func (m *Model) CommonRoots(indices []int) uint64 {
 	inter := ^uint64(0)
 	for _, i := range indices {
@@ -371,6 +378,24 @@ func (m *Model) CommonRoots(indices []int) uint64 {
 		return 0
 	}
 	return inter & rootUniverse(m.n)
+}
+
+// CommonRootsSet returns the word-sliced node set of agents that are
+// roots of every graph in the index set — CommonRoots at any width. An
+// empty index set yields the empty set.
+func (m *Model) CommonRootsSet(indices []int) []uint64 {
+	inter := make([]uint64, graph.WordsFor(m.n))
+	if len(indices) == 0 {
+		return inter
+	}
+	copy(inter, m.graphs[indices[0]].RootsSet())
+	for _, i := range indices[1:] {
+		r := m.graphs[i].RootsSet()
+		for w := range inter {
+			inter[w] &= r[w]
+		}
+	}
+	return inter
 }
 
 // ExactConsensusSolvable decides exact consensus solvability in the model

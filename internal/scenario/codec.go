@@ -19,13 +19,22 @@
 //
 // Layout (all integers unsigned varints, per encoding/binary):
 //
-//	magic "RSC1"
+//	magic "RSC1" (n <= 64) or "RSC2" (n > 64)
 //	n                                 agents (1..graph.MaxNodes)
 //	prefixLen loopLen                 round counts
 //	tableLen                          distinct graphs
-//	table[tableLen]                   n in-neighbor masks each
+//	table[tableLen]                   in-neighbor rows, one per node:
+//	                                  one mask uvarint (RSC1) or
+//	                                  graph.WordsFor(n) word uvarints,
+//	                                  lowest word first (RSC2)
 //	prefixIdx[prefixLen]              indices into the table
 //	loopIdx[loopLen]                  indices into the table
+//
+// The version split keeps every schedule's canonical encoding unique:
+// Encode emits RSC1 for n <= 64 — byte-identical to the pre-multi-word
+// codec, so committed fingerprints and golden traces survive — and RSC2
+// only for n > 64; Decode enforces the same boundary, rejecting an RSC2
+// body that a canonical RSC1 encoding should carry and vice versa.
 package scenario
 
 import (
@@ -38,7 +47,12 @@ import (
 )
 
 // magic identifies the trace format; the trailing digit is the version.
-const magic = "RSC1"
+// Version 1 carries one mask uvarint per node (n <= 64 only); version 2
+// carries graph.WordsFor(n) word uvarints per node (n > 64 only).
+const (
+	magic   = "RSC1"
+	magicV2 = "RSC2"
+)
 
 // MaxRounds bounds the prefix and loop lengths a trace may declare, so a
 // corrupt or hostile header cannot demand an absurd allocation before the
@@ -92,15 +106,28 @@ func Encode(n int, prefix, loop []graph.Graph) []byte {
 		loopIdx[i] = lookup(g)
 	}
 
-	buf := make([]byte, 0, 16+len(table)*n+len(prefixIdx)+len(loopIdx))
-	buf = append(buf, magic...)
+	w := graph.WordsFor(n)
+	buf := make([]byte, 0, 16+len(table)*n*w+len(prefixIdx)+len(loopIdx))
+	if w == 1 {
+		buf = append(buf, magic...)
+	} else {
+		buf = append(buf, magicV2...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(n))
 	buf = binary.AppendUvarint(buf, uint64(len(prefixIdx)))
 	buf = binary.AppendUvarint(buf, uint64(len(loopIdx)))
 	buf = binary.AppendUvarint(buf, uint64(len(table)))
 	for _, g := range table {
+		if w == 1 {
+			for i := 0; i < n; i++ {
+				buf = binary.AppendUvarint(buf, g.InMask(i))
+			}
+			continue
+		}
 		for i := 0; i < n; i++ {
-			buf = binary.AppendUvarint(buf, g.InMask(i))
+			for _, word := range g.InRow(i) {
+				buf = binary.AppendUvarint(buf, word)
+			}
 		}
 	}
 	for _, i := range prefixIdx {
@@ -128,11 +155,19 @@ func (d *decoder) uvarint(what string) (uint64, error) {
 }
 
 // Decode parses an encoded trace back into (n, prefix, loop). Every mask
-// is validated through graph.FromInMasks (self-loops mandatory, no bits
-// beyond n), and trailing bytes after the payload are rejected.
+// row is validated through graph.FromInMasks / graph.FromInWords
+// (self-loops mandatory, no bits beyond n), and trailing bytes after the
+// payload are rejected. The agent count must match the version's range —
+// RSC1 carries n <= 64, RSC2 n > 64 — so every decodable trace is the
+// canonical encoding of its schedule and Encode(Decode(b)) == b.
 func Decode(data []byte) (n int, prefix, loop []graph.Graph, err error) {
-	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
-		return 0, nil, nil, fmt.Errorf("scenario: bad magic (want %q)", magic)
+	v2 := false
+	switch {
+	case len(data) >= len(magic) && string(data[:len(magic)]) == magic:
+	case len(data) >= len(magicV2) && string(data[:len(magicV2)]) == magicV2:
+		v2 = true
+	default:
+		return 0, nil, nil, fmt.Errorf("scenario: bad magic (want %q or %q)", magic, magicV2)
 	}
 	d := &decoder{data: data, pos: len(magic)}
 	nv, err := d.uvarint("agent count")
@@ -141,6 +176,12 @@ func Decode(data []byte) (n int, prefix, loop []graph.Graph, err error) {
 	}
 	if nv < 1 || nv > graph.MaxNodes {
 		return 0, nil, nil, fmt.Errorf("scenario: invalid agent count %d (want 1..%d)", nv, graph.MaxNodes)
+	}
+	if !v2 && nv > 64 {
+		return 0, nil, nil, fmt.Errorf("scenario: RSC1 traces carry at most 64 agents, got %d", nv)
+	}
+	if v2 && nv <= 64 {
+		return 0, nil, nil, fmt.Errorf("scenario: RSC2 trace with %d agents; canonical encodings of n <= 64 are RSC1", nv)
 	}
 	n = int(nv)
 	prefixLen, err := d.uvarint("prefix length")
@@ -164,24 +205,30 @@ func Decode(data []byte) (n int, prefix, loop []graph.Graph, err error) {
 		return 0, nil, nil, fmt.Errorf("scenario: %d table entries for %d rounds", tableLen, prefixLen+loopLen)
 	}
 	// The declared counts must fit the bytes actually present — every
-	// table entry needs at least n payload bytes and every round index
-	// at least one — so a tiny body with an absurd header is rejected
-	// here, before the header sizes any allocation. (Counts are capped
-	// above, so this sum cannot overflow.)
-	if need := tableLen*uint64(n) + prefixLen + loopLen; need > uint64(len(data)-d.pos) {
+	// table entry needs at least one payload byte per row word and every
+	// round index at least one — so a tiny body with an absurd header is
+	// rejected here, before the header sizes any allocation. (Counts are
+	// capped above, so this sum cannot overflow.)
+	w := graph.WordsFor(n)
+	if need := tableLen*uint64(n*w) + prefixLen + loopLen; need > uint64(len(data)-d.pos) {
 		return 0, nil, nil, fmt.Errorf("scenario: header declares %d payload bytes but %d remain", need, len(data)-d.pos)
 	}
 	table := make([]graph.Graph, tableLen)
-	masks := make([]uint64, n)
+	words := make([]uint64, n*w)
 	for t := range table {
-		for i := 0; i < n; i++ {
+		for i := range words {
 			m, err := d.uvarint("graph mask")
 			if err != nil {
 				return 0, nil, nil, err
 			}
-			masks[i] = m
+			words[i] = m
 		}
-		g, err := graph.FromInMasks(n, masks)
+		var g graph.Graph
+		if v2 {
+			g, err = graph.FromInWords(n, words)
+		} else {
+			g, err = graph.FromInMasks(n, words)
+		}
 		if err != nil {
 			return 0, nil, nil, err
 		}

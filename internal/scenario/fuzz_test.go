@@ -2,7 +2,11 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math/rand"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 // FuzzTraceRoundTrip drives the codec from both ends. Structured inputs
@@ -16,7 +20,26 @@ func FuzzTraceRoundTrip(f *testing.F) {
 		n, prefix, loop := randomSchedule(seed)
 		f.Add(Encode(n, prefix, loop))
 	}
+	// Multi-word seeds: RSC2 canonical round-trips at and past every
+	// word boundary the codec can cross.
+	for _, n := range []int{65, 127, 128, 256} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		distinct := []graph.Graph{
+			graph.Random(rng, n, 0.3),
+			graph.Random(rng, n, 0.7),
+		}
+		prefix := []graph.Graph{distinct[0], distinct[1], distinct[0]}
+		loop := []graph.Graph{distinct[1]}
+		f.Add(Encode(n, prefix, loop))
+	}
+	// Version-boundary bytes: an RSC1 header declaring n > 64 and an
+	// RSC2 header declaring n <= 64 must both be rejected, never
+	// reinterpreted (the fuzz body then just returns — the seed's value
+	// is forcing the mutator through the version check).
+	f.Add(binary.AppendUvarint([]byte(magic), 65))
+	f.Add(binary.AppendUvarint([]byte(magicV2), 4))
 	f.Add([]byte(magic))
+	f.Add([]byte(magicV2))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n, prefix, loop, err := Decode(data)
