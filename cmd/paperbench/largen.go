@@ -33,7 +33,7 @@ type parallelEntry struct {
 	RunRoundsPerSec float64 `json:"run_rounds_per_sec"`
 }
 
-// parallelReport is the BENCH_PR9 "parallel" section: the large-n
+// parallelReport is the BENCH_PR10 "parallel" section: the large-n
 // kernel series per worker count (1, 2, 4, ... up to GOMAXPROCS, with 4
 // always included when the machine has it) for the shared-graph
 // amortized workload and the churn-clustered StepEach workload.

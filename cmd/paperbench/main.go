@@ -21,7 +21,7 @@
 //	                            a 64-scenario grid (per-run schedules in
 //	                            one batch)
 //	paperbench -bench -json F   additionally write the results as JSON to F
-//	                            (committed as BENCH_PR9.json and uploaded
+//	                            (committed as BENCH_PR10.json and uploaded
 //	                            as a CI artifact); the distributed series
 //	                            spins an in-process coordinator/worker
 //	                            cluster at 1 and 2 workers
@@ -119,7 +119,7 @@ func run(args []string, out io.Writer) error {
 }
 
 // benchReport is the machine-readable benchmark artifact (committed as
-// BENCH_PR9.json and uploaded by CI): the batch-plane sweep against
+// BENCH_PR10.json and uploaded by CI): the batch-plane sweep against
 // PR 3's goroutine-per-run sweep, on the shared-model workload and on
 // two scenario grids with per-run schedules (long churn epochs, and
 // every-round churn for maximal graph diversity), medians over the
@@ -165,6 +165,10 @@ type benchReport struct {
 	// latency, store hit rates, and the zero-recompute resubmission
 	// check.
 	Distributed *distReport `json:"distributed,omitempty"`
+	// Obs is the observability-overhead pair: the churn StepEach kernel
+	// workload with a live metrics registry bound vs detached. CI gates
+	// obs.overhead at 1.02.
+	Obs *obsReport `json:"obs,omitempty"`
 }
 
 // benchEntry is one measured configuration.
@@ -317,6 +321,13 @@ func runBench(out io.Writer, jsonPath string, samples, specCount, rounds, largen
 			return err
 		}
 		report.Distributed = dist
+	}
+	if largenRounds > 0 {
+		obsRep, err := benchObs(out, samples, largenRounds)
+		if err != nil {
+			return err
+		}
+		report.Obs = obsRep
 	}
 	fmt.Fprintf(out, "sweep/single             %12d ns/sweep  %8.0f runs/s\n", singleNs, perSec(singleNs))
 	fmt.Fprintf(out, "sweep/batch              %12d ns/sweep  %8.0f runs/s\n", batchNs, perSec(batchNs))

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// This file measures what the observability plane costs where it could
+// hurt: the batch kernel's stepping loop. The kernel samples once per
+// round on the coordinating goroutine (two clock reads, one histogram
+// observe, a handful of counter deltas), so the relative overhead is
+// highest when rounds are cheap — the churn StepEach workload at a
+// modest n is deliberately that worst-ish case, not a flattering one.
+const (
+	obsN     = 64
+	obsBatch = 512
+)
+
+// obsReport is the BENCH "obs" section: the same kernel workload
+// stepped with a live metrics registry bound and with the registry
+// detached (the REPRO_OBS=off state), interleaved samples, medians.
+type obsReport struct {
+	N      int `json:"n"`
+	Batch  int `json:"batch"`
+	Rounds int `json:"rounds"`
+	// InstrumentedNs / DetachedNs are the median workload wall times
+	// with obs on and off.
+	InstrumentedNs int64 `json:"instrumented_median_ns"`
+	DetachedNs     int64 `json:"detached_median_ns"`
+	// Overhead is instrumented/detached — the CI gate holds it at or
+	// under 1.02.
+	Overhead float64 `json:"overhead"`
+}
+
+// benchObs measures the instrumented-vs-detached kernel pair. The two
+// variants alternate within each sample so machine-load drift lands on
+// both sides of the ratio.
+func benchObs(out io.Writer, samples, rounds int) (*obsReport, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	defer core.SetObsRegistry(obs.Default())
+	b := obsBatch
+	pool := largeGraphs(obsN)[:16]
+	inputs := largeInputs(b, obsN)
+	workers := min(4, runtime.GOMAXPROCS(0))
+	gs := make([]graph.Graph, b)
+
+	stepOnce := func(reg *obs.Registry) time.Duration {
+		core.SetObsRegistry(reg)
+		br := core.NewBatchRunner(algorithms.Midpoint{}, inputs)
+		br.SetParallelism(workers)
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < b; i++ {
+				gs[i] = pool[(i/16+round)%len(pool)]
+			}
+			br.StepEach(gs)
+		}
+		return time.Since(start)
+	}
+
+	// A fresh live registry rather than obs.Default(), so the series
+	// measures the instrumented path even under REPRO_OBS=off.
+	live := obs.NewRegistry()
+	stepOnce(live) // warm the pool, the plan caches' allocator, and the CPU
+	var on, off []time.Duration
+	for s := 0; s < samples; s++ {
+		off = append(off, stepOnce(nil))
+		on = append(on, stepOnce(live))
+	}
+	median := func(d []time.Duration) int64 {
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		return d[len(d)/2].Nanoseconds()
+	}
+	rep := &obsReport{
+		N: obsN, Batch: b, Rounds: rounds,
+		InstrumentedNs: median(on),
+		DetachedNs:     median(off),
+	}
+	if rep.DetachedNs > 0 {
+		rep.Overhead = float64(rep.InstrumentedNs) / float64(rep.DetachedNs)
+	}
+	fmt.Fprintf(out, "obs/instrumented         %12d ns  obs/detached %12d ns  overhead %.4fx\n",
+		rep.InstrumentedNs, rep.DetachedNs, rep.Overhead)
+	return rep, nil
+}

@@ -14,6 +14,8 @@
 //	reprod -backend agents          force the reference execution backend
 //	reprod -drain-timeout 10s       shutdown drain budget (then in-flight
 //	                                queries are context-cancelled)
+//	reprod -debug-addr :6060        also serve net/http/pprof on a second
+//	                                listener (off unless set)
 //
 //	reprod -worker                  serve the worker surface (adds POST /api/v1/shard)
 //	reprod -worker -announce URL    ...and register with the coordinator at URL
@@ -24,6 +26,7 @@
 // for the payloads):
 //
 //	GET  /healthz
+//	GET  /metrics                 (Prometheus text, every mode)
 //	GET  /api/v1/status
 //	GET  /api/v1/registry
 //	POST /api/v1/run
@@ -48,8 +51,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,6 +89,8 @@ func run(args []string, out io.Writer) error {
 	cacheSize := fs.Int("cache", 1024, "response cache entries (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Second,
 		"shutdown drain budget; past it in-flight queries are context-cancelled")
+	debugAddr := fs.String("debug-addr", "",
+		"serve net/http/pprof on this second listen address (disabled when empty)")
 
 	worker := fs.Bool("worker", false, "serve the distributed worker surface (adds POST /api/v1/shard)")
 	announce := fs.String("announce", "", "worker: coordinator base URL to register with at startup")
@@ -112,11 +119,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Structured logger for the daemon's own reporting; the coordinator
+	// shares it, so its dispatch logs carry the same stream and format.
+	logger := slog.New(slog.NewTextHandler(out, nil))
+
 	// Build the mode's handler and its startup/shutdown reporting.
+	// cacheKVs snapshots the mode's cache counters as key=value pairs
+	// for the startup and shutdown log lines.
 	var (
 		handler    http.Handler
 		mode       string
-		cacheLine  func() string
+		cacheKVs   func() []any
 		coord      *distributed.Coordinator
 		workerSide *distributed.Worker
 	)
@@ -134,34 +147,41 @@ func run(args []string, out io.Writer) error {
 			distributed.CoordinatorQueueCapacity(*queueCap),
 			distributed.CoordinatorRetry(*shardRetries, distributed.DefaultRetryBase),
 			distributed.CoordinatorShardTimeout(*queryTimeout),
+			distributed.CoordinatorLogger(logger),
 		)
 		defer coord.Close()
 		handler = coord
 		mode = fmt.Sprintf("coordinator (%d workers pinned, shard specs %d, queue cap %d)",
 			coord.WorkerCount(), *shardSpecs, *queueCap)
-		cacheLine = func() string {
+		cacheKVs = func() []any {
 			st := coord.Status()
-			return fmt.Sprintf("result store %d/%d entries (%d hits, %d misses, %d evictions)",
-				st.Store.Entries, st.Store.Capacity, st.Store.Hits, st.Store.Misses, st.Store.Evictions)
+			return []any{"cache", "result_store",
+				"entries", st.Store.Entries, "capacity", st.Store.Capacity,
+				"hits", st.Store.Hits, "misses", st.Store.Misses,
+				"evictions", st.Store.Evictions, "hit_rate", st.StoreHitRate}
 		}
 	case *worker:
 		workerSide = distributed.NewWorker(distributed.WorkerTimeout(*queryTimeout))
 		handler = workerSide
 		mode = "worker"
-		cacheLine = func() string {
+		cacheKVs = func() []any {
 			sc := workerSide.SweepCacheCounters()
-			return fmt.Sprintf("sweep cache %d/%d entries (%d hits, %d misses, %d evictions)",
-				sc.Entries, sc.Capacity, sc.Hits, sc.Misses, sc.Evictions)
+			return []any{"cache", "sweep",
+				"entries", sc.Entries, "capacity", sc.Capacity,
+				"hits", sc.Hits, "misses", sc.Misses, "evictions", sc.Evictions}
 		}
 	default:
 		qs := newServer(*queryTimeout, *cacheSize)
 		handler = qs
 		mode = "server"
-		cacheLine = func() string {
+		cacheKVs = func() []any {
 			st := qs.Status()
-			return fmt.Sprintf("response cache %d/%d entries, sweep cache %d/%d entries (hit rate %.2f)",
-				st.ResponseCache.Entries, st.ResponseCache.Capacity,
-				st.SweepCache.Entries, st.SweepCache.Capacity, st.SweepHitRate)
+			return []any{"cache", "response+sweep",
+				"response_entries", st.ResponseCache.Entries,
+				"response_capacity", st.ResponseCache.Capacity,
+				"sweep_entries", st.SweepCache.Entries,
+				"sweep_capacity", st.SweepCache.Capacity,
+				"sweep_hit_rate", st.SweepHitRate}
 		}
 	}
 
@@ -180,9 +200,27 @@ func run(args []string, out io.Writer) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(out, "reprod: serving %s on %s (backend %s, batch parallelism %d, query timeout %s)\n",
-		mode, *addr, backend.Value(), batchPar.Value(), *queryTimeout)
-	fmt.Fprintf(out, "reprod: %s\n", cacheLine())
+	logger.Info("serving", "mode", mode, "addr", *addr,
+		"backend", backend.Value(), "batch_parallelism", batchPar.Value(),
+		"query_timeout", *queryTimeout)
+	logger.Info("cache counters", append([]any{"phase", "startup"}, cacheKVs()...)...)
+
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		defer debugSrv.Close()
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener serving pprof", "addr", *debugAddr)
+	}
 
 	if *worker && *announce != "" {
 		self := *selfURL
@@ -191,9 +229,9 @@ func run(args []string, out io.Writer) error {
 		}
 		go func() {
 			if err := announceWorker(ctx, *announce, self); err != nil {
-				fmt.Fprintf(out, "reprod: announce to %s failed: %v\n", *announce, err)
+				logger.Error("announce failed", "coordinator", *announce, "err", err)
 			} else {
-				fmt.Fprintf(out, "reprod: registered %s with coordinator %s\n", self, *announce)
+				logger.Info("registered with coordinator", "self", self, "coordinator", *announce)
 			}
 		}()
 	}
@@ -210,11 +248,11 @@ func run(args []string, out io.Writer) error {
 		// force-close the remaining connections.
 		cancelBase()
 		_ = srv.Close()
-		fmt.Fprintf(out, "reprod: drain timed out after %s, in-flight queries cancelled\n", *drainTimeout)
+		logger.Warn("drain timed out, in-flight queries cancelled", "drain_timeout", *drainTimeout)
 		return nil
 	}
-	fmt.Fprintf(out, "reprod: %s\n", cacheLine())
-	fmt.Fprintln(out, "reprod: shut down")
+	logger.Info("cache counters", append([]any{"phase", "shutdown"}, cacheKVs()...)...)
+	logger.Info("shut down")
 	return nil
 }
 

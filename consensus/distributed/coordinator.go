@@ -10,15 +10,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/consensus"
+	"repro/internal/obs"
 )
 
 // Coordinator defaults. Shards are deliberately small relative to the
@@ -76,6 +79,8 @@ type coordConfig struct {
 	shardTimeout   time.Duration
 	healthInterval time.Duration
 	client         *http.Client
+	reg            *obs.Registry
+	logger         *slog.Logger
 }
 
 // CoordinatorLibrary fingerprints every spec against lib. Workers must
@@ -145,6 +150,22 @@ func CoordinatorClient(cl *http.Client) CoordinatorOption {
 	return func(c *coordConfig) { c.client = cl }
 }
 
+// CoordinatorObsRegistry registers the coordinator's metrics on r
+// instead of a fresh registry. The coordinator registry is always on
+// (it backs /api/v1/status), so this is for embedding several
+// components under one scrape, not for disabling.
+func CoordinatorObsRegistry(r *obs.Registry) CoordinatorOption {
+	return func(c *coordConfig) { c.reg = r }
+}
+
+// CoordinatorLogger emits structured dispatch logs (sweep admitted,
+// shard dispatched/retried/failed) to log. The sweep and shard fields
+// carry the span IDs exported at /api/v1/spans. Nil (the default) is
+// silent.
+func CoordinatorLogger(log *slog.Logger) CoordinatorOption {
+	return func(c *coordConfig) { c.logger = log }
+}
+
 // workerState is the coordinator's view of one worker.
 type workerState struct {
 	url         string
@@ -189,16 +210,13 @@ type Coordinator struct {
 	fpMu   sync.Mutex
 	fpMemo map[string]fpEntry
 
-	sweeps           atomic.Uint64
-	specsServed      atomic.Uint64
-	specsFromStore   atomic.Uint64
-	specsComputed    atomic.Uint64
-	specsFailed      atomic.Uint64
-	shardsDispatched atomic.Uint64
-	shardRetries     atomic.Uint64
-	shardFailures    atomic.Uint64
-	rejected         atomic.Uint64
-	fpMismatches     atomic.Uint64
+	// reg/met are the single source of truth for the coordinator's
+	// accounting: Status() reads these instruments back, so the
+	// /api/v1/status JSON and the /metrics exposition cannot drift.
+	reg    *obs.Registry
+	met    *coordMetrics
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -237,6 +255,9 @@ func NewCoordinator(opts ...CoordinatorOption) *Coordinator {
 	if cfg.attempts < 1 {
 		cfg.attempts = 1
 	}
+	if cfg.reg == nil {
+		cfg.reg = obs.NewRegistry()
+	}
 	c := &Coordinator{
 		lib:            cfg.lib,
 		store:          cfg.store,
@@ -249,8 +270,13 @@ func NewCoordinator(opts ...CoordinatorOption) *Coordinator {
 		shardTimeout:   cfg.shardTimeout,
 		healthInterval: cfg.healthInterval,
 		fpMemo:         make(map[string]fpEntry),
+		reg:            cfg.reg,
+		met:            newCoordMetrics(cfg.reg),
+		tracer:         obs.NewTracer(coordTracerCapacity),
+		log:            cfg.logger,
 		stop:           make(chan struct{}),
 	}
+	c.registerCoordGauges()
 	for _, u := range cfg.workerURLs {
 		c.AddWorker(u)
 	}
@@ -259,6 +285,8 @@ func NewCoordinator(opts ...CoordinatorOption) *Coordinator {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /api/v1/status", c.handleStatus)
+	mux.HandleFunc("GET /api/v1/spans", c.handleSpans)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("POST /api/v1/workers", c.handleRegister)
 	mux.HandleFunc("POST /api/v1/sweep", c.handleSweep)
 	mux.HandleFunc("POST /api/v1/sweep/stream", c.handleSweepStream)
@@ -278,6 +306,13 @@ func (c *Coordinator) Close() { c.closeOnce.Do(func() { close(c.stop) }) }
 // ResultStore exposes the content-addressed store (shared with tests
 // and the bench harness).
 func (c *Coordinator) ResultStore() *Store { return c.store }
+
+// Registry exposes the coordinator's always-on metrics registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Tracer exposes the coordinator's span ring (also served at
+// GET /api/v1/spans).
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
 
 // AddWorker registers a worker base URL (idempotent) and probes it
 // synchronously, returning its health.
@@ -341,7 +376,10 @@ func (c *Coordinator) healthLoop() {
 	}
 }
 
-// Status snapshots the coordinator's accounting.
+// Status snapshots the coordinator's accounting. Every number is read
+// back from the obs registry's instruments — the same instruments the
+// Prometheus exposition scrapes — so the two surfaces agree by
+// construction.
 func (c *Coordinator) Status() CoordinatorStatus {
 	c.mu.Lock()
 	ws := append([]*workerState(nil), c.workers...)
@@ -352,16 +390,16 @@ func (c *Coordinator) Status() CoordinatorStatus {
 		QueueDepth:            depth,
 		QueueCapacity:         c.queueCap,
 		Store:                 c.store.Counters(),
-		Sweeps:                c.sweeps.Load(),
-		SpecsServed:           c.specsServed.Load(),
-		SpecsFromStore:        c.specsFromStore.Load(),
-		SpecsComputed:         c.specsComputed.Load(),
-		SpecsFailed:           c.specsFailed.Load(),
-		ShardsDispatched:      c.shardsDispatched.Load(),
-		ShardRetries:          c.shardRetries.Load(),
-		ShardFailures:         c.shardFailures.Load(),
-		Rejected:              c.rejected.Load(),
-		FingerprintMismatches: c.fpMismatches.Load(),
+		Sweeps:                c.met.sweeps.Value(),
+		SpecsServed:           c.met.specsServed.Value(),
+		SpecsFromStore:        c.met.specsFromStore.Value(),
+		SpecsComputed:         c.met.specsComputed.Value(),
+		SpecsFailed:           c.met.specsFailed.Value(),
+		ShardsDispatched:      c.met.shardsDispatched.Value(),
+		ShardRetries:          c.met.shardRetries.Value(),
+		ShardFailures:         c.met.shardFailures.Value(),
+		Rejected:              c.met.rejected.Value(),
+		FingerprintMismatches: c.met.fpMismatches.Value(),
 	}
 	st.StoreHitRate = st.Store.HitRate()
 	for _, w := range ws {
@@ -556,17 +594,34 @@ func (c *Coordinator) runSweep(ctx context.Context, req SweepRequest, emit func(
 	// admits, so one oversized request cannot wedge itself.
 	c.mu.Lock()
 	if len(shards) > 0 && c.admitted > 0 && c.admitted+len(shards) > c.queueCap {
+		depth := c.admitted
 		c.mu.Unlock()
-		c.rejected.Add(1)
+		c.met.rejected.Inc()
+		if c.log != nil {
+			c.log.Warn("sweep rejected by backpressure",
+				"specs", len(req.Specs), "shards", len(shards), "queue_depth", depth)
+		}
 		return nil, &BusyError{RetryAfter: time.Second}
 	}
 	c.admitted += len(shards)
+	c.met.queueDepth.Set(float64(c.admitted))
 	c.mu.Unlock()
 
-	c.sweeps.Add(1)
-	c.specsServed.Add(uint64(len(req.Specs)))
-	c.specsFromStore.Add(uint64(storeHits))
-	c.specsFailed.Add(uint64(resolveErrs))
+	c.met.sweeps.Inc()
+	c.met.specsServed.Add(uint64(len(req.Specs)))
+	c.met.specsFromStore.Add(uint64(storeHits))
+	c.met.specsFailed.Add(uint64(resolveErrs))
+
+	sweepSpan := c.tracer.Begin("sweep", 0,
+		obs.Attr{Key: "specs", Value: strconv.Itoa(len(req.Specs))},
+		obs.Attr{Key: "shards", Value: strconv.Itoa(len(shards))},
+		obs.Attr{Key: "store_hits", Value: strconv.Itoa(storeHits)})
+	defer c.tracer.End(sweepSpan)
+	if c.log != nil {
+		c.log.Info("sweep admitted", "sweep", uint64(sweepSpan),
+			"specs", len(req.Specs), "shards", len(shards),
+			"store_hits", storeHits, "resolve_errors", resolveErrs)
+	}
 
 	dispatchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -593,19 +648,34 @@ func (c *Coordinator) runSweep(ctx context.Context, req SweepRequest, emit func(
 	var wg sync.WaitGroup
 	var resMu sync.Mutex
 	for _, sh := range shards {
+		// The shard span opens at admission, on the sweep goroutine, so
+		// queue wait is inside it; it closes after the shard's results
+		// are merged and emitted.
+		span := c.tracer.Begin("shard", sweepSpan,
+			obs.Attr{Key: "shard", Value: sh.id},
+			obs.Attr{Key: "specs", Value: strconv.Itoa(len(sh.specs))})
 		wg.Add(1)
-		go func(sh *shard) {
+		go func(sh *shard, span obs.SpanID) {
 			defer wg.Done()
 			defer func() {
 				c.mu.Lock()
 				c.admitted--
+				c.met.queueDepth.Set(float64(c.admitted))
 				c.mu.Unlock()
 			}()
-			out, err := c.runShard(dispatchCtx, sh)
+			defer c.tracer.End(span)
+			shardStart := time.Now()
+			out, err := c.runShard(dispatchCtx, sh, span)
+			c.met.shardSeconds.Observe(time.Since(shardStart).Seconds())
 			ev := make([]consensus.SweepResult, 0, len(sh.specs))
 			if err != nil {
-				c.shardFailures.Add(1)
-				c.specsFailed.Add(uint64(len(sh.specs)))
+				c.met.shardFailures.Inc()
+				c.met.specsFailed.Add(uint64(len(sh.specs)))
+				c.tracer.Annotate(span, obs.Attr{Key: "error", Value: err.Error()})
+				if c.log != nil {
+					c.log.Error("shard failed", "sweep", uint64(sweepSpan),
+						"shard", sh.id, "span", uint64(span), "err", err)
+				}
 				for j, idx := range sh.indices {
 					ev = append(ev, consensus.SweepResult{
 						Index: idx, Spec: sh.specs[j], Fingerprint: sh.fps[j], Err: err.Error(),
@@ -619,13 +689,13 @@ func (c *Coordinator) runSweep(ctx context.Context, req SweepRequest, emit func(
 						if r.Fingerprint == sh.fps[j] {
 							c.store.Insert(sh.fps[j], *r.Summary)
 						} else {
-							c.fpMismatches.Add(1)
+							c.met.fpMismatches.Inc()
 						}
 					}
 					if r.Err != "" {
-						c.specsFailed.Add(1)
+						c.met.specsFailed.Inc()
 					} else {
-						c.specsComputed.Add(1)
+						c.met.specsComputed.Inc()
 					}
 					ev = append(ev, r)
 				}
@@ -636,7 +706,7 @@ func (c *Coordinator) runSweep(ctx context.Context, req SweepRequest, emit func(
 			}
 			resMu.Unlock()
 			send(ResultsEvent{Results: ev})
-		}(sh)
+		}(sh, span)
 	}
 	wg.Wait()
 
@@ -669,13 +739,14 @@ func (c *Coordinator) runSweep(ctx context.Context, req SweepRequest, emit func(
 // first, then the next-ranked healthy worker on failure, exponential
 // backoff between attempts. Network errors mark the worker unhealthy;
 // 4xx responses are terminal (re-sending the same bytes elsewhere
-// cannot help).
-func (c *Coordinator) runShard(ctx context.Context, sh *shard) ([]consensus.SweepResult, error) {
-	c.shardsDispatched.Add(1)
+// cannot help). Each attempt annotates the shard's span with the
+// worker it targeted.
+func (c *Coordinator) runShard(ctx context.Context, sh *shard, span obs.SpanID) ([]consensus.SweepResult, error) {
+	c.met.shardsDispatched.Inc()
 	var lastErr error
 	for attempt := 1; attempt <= c.attempts; attempt++ {
 		if attempt > 1 {
-			c.shardRetries.Add(1)
+			c.met.shardRetries.Inc()
 			if err := sleepCtx(ctx, c.retryBase<<(attempt-2)); err != nil {
 				return nil, err
 			}
@@ -694,6 +765,15 @@ func (c *Coordinator) runShard(ctx context.Context, sh *shard) ([]consensus.Swee
 			cands = ranked
 		}
 		target := cands[(attempt-1)%len(cands)]
+		if target != ranked[0] {
+			c.met.shardReroutes.Inc()
+		}
+		c.tracer.Annotate(span,
+			obs.Attr{Key: "attempt." + strconv.Itoa(attempt), Value: target.url})
+		if c.log != nil {
+			c.log.Info("shard dispatched", "shard", sh.id, "span", uint64(span),
+				"attempt", attempt, "worker", target.url)
+		}
 		out, retryable, err := c.postShard(ctx, target, sh)
 		if err == nil {
 			target.shardsDone.Add(1)
@@ -701,6 +781,10 @@ func (c *Coordinator) runShard(ctx context.Context, sh *shard) ([]consensus.Swee
 		}
 		target.shardErrors.Add(1)
 		lastErr = err
+		if c.log != nil {
+			c.log.Warn("shard attempt failed", "shard", sh.id, "span", uint64(span),
+				"attempt", attempt, "worker", target.url, "retryable", retryable, "err", err)
+		}
 		if !retryable {
 			break
 		}

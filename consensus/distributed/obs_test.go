@@ -1,0 +1,206 @@
+package distributed_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/consensus/distributed"
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches a Prometheus text endpoint into a
+// name{labels} -> value map.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q, want text/plain exposition", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed metrics value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStatusMetricsParity is the one-source-of-truth check: every
+// number /api/v1/status reports must equal the corresponding series
+// scraped from /metrics, on the coordinator and on a worker, because
+// both surfaces read the same registry instruments.
+func TestStatusMetricsParity(t *testing.T) {
+	lc, err := distributed.StartLocal(2,
+		[]distributed.CoordinatorOption{
+			distributed.CoordinatorHealthInterval(0),
+			distributed.CoordinatorRetry(3, 5*time.Millisecond),
+		},
+		[]distributed.WorkerOption{distributed.WorkerTimeout(time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	// Two identical sweeps: the second is served by the store, so both
+	// the computed and from-store paths have non-zero counters.
+	for i := 0; i < 2; i++ {
+		if sr, resp := postSweep(t, lc.BaseURL, distributed.SweepRequest{Specs: mixedSpecs()}); sr == nil {
+			t.Fatalf("sweep %d failed: %s", i, resp.Status)
+		}
+	}
+
+	st := getStatus(t, lc.BaseURL)
+	m := scrapeMetrics(t, lc.BaseURL+"/metrics")
+	checks := []struct {
+		series string
+		want   float64
+	}{
+		{"repro_coord_sweeps_total", float64(st.Sweeps)},
+		{"repro_coord_specs_served_total", float64(st.SpecsServed)},
+		{"repro_coord_specs_from_store_total", float64(st.SpecsFromStore)},
+		{"repro_coord_specs_computed_total", float64(st.SpecsComputed)},
+		{"repro_coord_specs_failed_total", float64(st.SpecsFailed)},
+		{"repro_coord_shards_dispatched_total", float64(st.ShardsDispatched)},
+		{"repro_coord_shard_retries_total", float64(st.ShardRetries)},
+		{"repro_coord_shard_failures_total", float64(st.ShardFailures)},
+		{"repro_coord_rejected_total", float64(st.Rejected)},
+		{"repro_coord_fp_mismatches_total", float64(st.FingerprintMismatches)},
+		{"repro_coord_queue_depth", float64(st.QueueDepth)},
+		{"repro_coord_queue_capacity", float64(st.QueueCapacity)},
+		{"repro_coord_store_hits", float64(st.Store.Hits)},
+		{"repro_coord_store_misses", float64(st.Store.Misses)},
+		{"repro_coord_store_entries", float64(st.Store.Entries)},
+		{"repro_coord_store_hit_rate", st.StoreHitRate},
+		{"repro_coord_workers", 2},
+	}
+	for _, ck := range checks {
+		got, ok := m[ck.series]
+		if !ok {
+			t.Errorf("coordinator /metrics missing %s", ck.series)
+			continue
+		}
+		if got != ck.want {
+			t.Errorf("%s: /metrics %v vs /api/v1/status %v", ck.series, got, ck.want)
+		}
+	}
+	if st.Sweeps != 2 || st.SpecsFromStore == 0 || st.SpecsComputed == 0 {
+		t.Fatalf("workload did not exercise both paths: %+v", st)
+	}
+
+	// Worker side: shard counters on /api/v1/status vs the shared
+	// registry behind the embedded server's /metrics.
+	var busy int
+	for i, wu := range lc.WorkerURLs {
+		resp, err := http.Get(wu + "/api/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ws distributed.WorkerStatus
+		if err := json.NewDecoder(resp.Body).Decode(&ws); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		wm := scrapeMetrics(t, wu+"/metrics")
+		if got := wm["repro_worker_shards_total"]; got != float64(ws.Shards) {
+			t.Errorf("worker %d shards: /metrics %v vs status %d", i, got, ws.Shards)
+		}
+		if got := wm["repro_worker_shard_specs_total"]; got != float64(ws.ShardSpecs) {
+			t.Errorf("worker %d shard specs: /metrics %v vs status %d", i, got, ws.ShardSpecs)
+		}
+		if got := wm["repro_worker_shard_errors_total"]; got != float64(ws.ShardErrors) {
+			t.Errorf("worker %d shard errors: /metrics %v vs status %d", i, got, ws.ShardErrors)
+		}
+		if ws.Shards > 0 {
+			busy++
+		}
+		if _, ok := wm[`repro_server_requests_total{endpoint="status"}`]; !ok {
+			t.Errorf("worker %d /metrics missing embedded server request series", i)
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no worker reports completed shards")
+	}
+}
+
+// TestSweepSpansExported drives a sweep and checks the span ring at
+// /api/v1/spans: one closed root "sweep" span whose shard children
+// link back to it and also closed.
+func TestSweepSpansExported(t *testing.T) {
+	ts, _ := startCluster(t, nil)
+	if sr, resp := postSweep(t, ts.URL, distributed.SweepRequest{Specs: mixedSpecs()}); sr == nil {
+		t.Fatalf("sweep failed: %s", resp.Status)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	var root obs.SpanID
+	shards := 0
+	for _, sp := range payload.Spans {
+		if sp.EndUnix == 0 {
+			t.Errorf("span %d (%s) never ended", sp.ID, sp.Name)
+		}
+		switch sp.Name {
+		case "sweep":
+			root = sp.ID
+		case "shard":
+			shards++
+		}
+	}
+	if root == 0 {
+		t.Fatal("no sweep root span exported")
+	}
+	if shards == 0 {
+		t.Fatal("no shard spans exported")
+	}
+	for _, sp := range payload.Spans {
+		if sp.Name != "shard" {
+			continue
+		}
+		if sp.Parent != root {
+			t.Errorf("shard span %d parented to %d, want sweep root %d", sp.ID, sp.Parent, root)
+		}
+		var worker string
+		for _, a := range sp.Attrs {
+			if strings.HasPrefix(a.Key, "attempt.") {
+				worker = a.Value
+			}
+		}
+		if worker == "" {
+			t.Errorf("shard span %d has no attempt annotation", sp.ID)
+		}
+	}
+}

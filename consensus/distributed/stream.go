@@ -54,7 +54,11 @@ func (c *Coordinator) handleSweepStream(w http.ResponseWriter, r *http.Request) 
 			w.Header().Set("Cache-Control", "no-cache")
 			w.WriteHeader(http.StatusOK)
 		}
-		return sse.event("results", ev)
+		if err := sse.event("results", ev); err != nil {
+			return err
+		}
+		c.met.sseBatches.Inc()
+		return nil
 	}
 	resp, err := c.runSweep(r.Context(), req, emit)
 	if err != nil {

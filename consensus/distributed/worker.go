@@ -4,10 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sync/atomic"
 	"time"
 
 	"repro/consensus"
+	"repro/internal/obs"
 )
 
 // DefaultMaxShardSpecs bounds the specs one shard request may carry.
@@ -25,6 +25,7 @@ type workerConfig struct {
 	timeout       time.Duration
 	maxShardSpecs int
 	serverOpts    []consensus.ServerOption
+	reg           *obs.Registry
 }
 
 // WorkerLibrary resolves every shard spec against lib.
@@ -49,6 +50,13 @@ func WorkerMaxShardSpecs(n int) WorkerOption {
 	return func(c *workerConfig) { c.maxShardSpecs = n }
 }
 
+// WorkerObsRegistry registers the worker's shard counters — and the
+// embedded server's request metrics — on r instead of a fresh
+// registry. Always on; see CoordinatorObsRegistry.
+func WorkerObsRegistry(r *obs.Registry) WorkerOption {
+	return func(c *workerConfig) { c.reg = r }
+}
+
 // Worker is the worker-side handler: the full single-process
 // consensus.Server surface (run, sweep, scenario, experiments, status,
 // ...) plus the shard execution endpoint the coordinator fans out to:
@@ -68,9 +76,12 @@ type Worker struct {
 	timeout time.Duration
 	maxSpec int
 
-	shards      atomic.Uint64
-	shardSpecs  atomic.Uint64
-	shardErrors atomic.Uint64
+	// reg is shared with the embedded server, so the server's GET
+	// /metrics (reached through the catch-all route) exposes the shard
+	// counters alongside the request and cache series. Status() reads
+	// the counters back from these instruments.
+	reg *obs.Registry
+	met *workerMetrics
 }
 
 // NewWorker builds the worker handler.
@@ -82,9 +93,13 @@ func NewWorker(opts ...WorkerOption) *Worker {
 	if cfg.cache == nil {
 		cfg.cache = consensus.NewSweepCache()
 	}
+	if cfg.reg == nil {
+		cfg.reg = obs.NewRegistry()
+	}
 	serverOpts := append([]consensus.ServerOption{
 		consensus.ServerTimeout(cfg.timeout),
 		consensus.ServerSweepCache(cfg.cache),
+		consensus.ServerObsRegistry(cfg.reg),
 	}, cfg.serverOpts...)
 	if cfg.lib != nil {
 		serverOpts = append(serverOpts, consensus.ServerLibrary(cfg.lib))
@@ -95,6 +110,8 @@ func NewWorker(opts ...WorkerOption) *Worker {
 		cache:   cfg.cache,
 		timeout: cfg.timeout,
 		maxSpec: cfg.maxShardSpecs,
+		reg:     cfg.reg,
+		met:     newWorkerMetrics(cfg.reg),
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", w.inner)
@@ -110,27 +127,31 @@ func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.Serv
 // SweepCacheCounters returns the worker's sweep-cache accounting.
 func (w *Worker) SweepCacheCounters() consensus.SweepCacheCounters { return w.cache.Counters() }
 
+// Registry exposes the worker's always-on metrics registry (shared
+// with the embedded server).
+func (w *Worker) Registry() *obs.Registry { return w.reg }
+
 func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	var req ShardRequest
 	if err := decodeBody(rw, r, &req); err != nil {
-		w.shardErrors.Add(1)
+		w.met.shardErrors.Inc()
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Specs) == 0 {
-		w.shardErrors.Add(1)
+		w.met.shardErrors.Inc()
 		writeError(rw, http.StatusBadRequest, fmt.Errorf("distributed: shard needs at least one spec"))
 		return
 	}
 	if len(req.Specs) > w.maxSpec {
-		w.shardErrors.Add(1)
+		w.met.shardErrors.Inc()
 		writeError(rw, http.StatusBadRequest,
 			fmt.Errorf("distributed: shard carries %d specs, worker cap is %d", len(req.Specs), w.maxSpec))
 		return
 	}
 	for _, spec := range req.Specs {
 		if err := consensus.CheckServedRounds(spec.Rounds); err != nil {
-			w.shardErrors.Add(1)
+			w.met.shardErrors.Inc()
 			writeError(rw, http.StatusBadRequest, err)
 			return
 		}
@@ -146,20 +167,20 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 	}
 	results, err := consensus.Sweep(ctx, req.Specs, opts...)
 	if err != nil {
-		w.shardErrors.Add(1)
+		w.met.shardErrors.Inc()
 		writeError(rw, statusOf(err), err)
 		return
 	}
-	w.shards.Add(1)
-	w.shardSpecs.Add(uint64(len(req.Specs)))
+	w.met.shards.Inc()
+	w.met.shardSpecs.Add(uint64(len(req.Specs)))
 	writeJSON(rw, http.StatusOK, ShardResponse{Shard: req.Shard, Results: results})
 }
 
 func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
 	writeJSON(rw, http.StatusOK, WorkerStatus{
 		StatusReport: w.inner.Status(),
-		Shards:       w.shards.Load(),
-		ShardSpecs:   w.shardSpecs.Load(),
-		ShardErrors:  w.shardErrors.Load(),
+		Shards:       w.met.shards.Value(),
+		ShardSpecs:   w.met.shardSpecs.Value(),
+		ShardErrors:  w.met.shardErrors.Value(),
 	})
 }

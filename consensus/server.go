@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ServerOption configures a Server.
@@ -32,6 +34,14 @@ func ServerLibrary(lib *Library) ServerOption {
 // default.
 func ServerSweepCache(c *SweepCache) ServerOption {
 	return func(s *Server) { s.sweepCache = c }
+}
+
+// ServerObsRegistry backs the server's request metrics and cache
+// gauges with the given registry instead of a private one — the
+// distributed worker shares its registry with its embedded server so
+// one /metrics scrape covers both.
+func ServerObsRegistry(r *obs.Registry) ServerOption {
+	return func(s *Server) { s.reg = r }
 }
 
 // Server is the query server over the engines: an http.Handler exposing
@@ -62,6 +72,13 @@ type Server struct {
 	lib        *Library
 	sweepCache *SweepCache
 
+	// reg is the server's always-on instance metrics registry (per-
+	// endpoint request counters and latency histograms, cache gauges),
+	// served by GET /metrics alongside the process-wide obs.Default()
+	// series. Instance registries are deliberately not subject to
+	// REPRO_OBS: status endpoints read them.
+	reg *obs.Registry
+
 	cacheMu     sync.Mutex
 	cache       map[string][]byte
 	cacheMax    int
@@ -89,21 +106,94 @@ func NewServer(opts ...ServerOption) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.registerCacheGauges()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/registry", s.handleRegistry)
-	mux.HandleFunc("POST /api/v1/run", s.handleRun)
-	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /api/v1/solvability", s.handleSolvability)
-	mux.HandleFunc("POST /api/v1/valency", s.handleValency)
-	mux.HandleFunc("POST /api/v1/decision", s.handleDecision)
-	mux.HandleFunc("POST /api/v1/async", s.handleAsync)
-	mux.HandleFunc("POST /api/v1/scenario", s.handleScenario)
-	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
-	mux.HandleFunc("POST /api/v1/experiment", s.handleExperiment)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /api/v1/status", s.instrument("status", s.handleStatus))
+	mux.HandleFunc("GET /api/v1/registry", s.instrument("registry", s.handleRegistry))
+	mux.HandleFunc("POST /api/v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("POST /api/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET /api/v1/solvability", s.instrument("solvability", s.handleSolvability))
+	mux.HandleFunc("POST /api/v1/valency", s.instrument("valency", s.handleValency))
+	mux.HandleFunc("POST /api/v1/decision", s.instrument("decision", s.handleDecision))
+	mux.HandleFunc("POST /api/v1/async", s.instrument("async", s.handleAsync))
+	mux.HandleFunc("POST /api/v1/scenario", s.instrument("scenario", s.handleScenario))
+	mux.HandleFunc("GET /api/v1/experiments", s.instrument("experiments", s.handleExperiments))
+	mux.HandleFunc("POST /api/v1/experiment", s.instrument("experiment", s.handleExperiment))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// Registry returns the server's instance metrics registry, so
+// embedding handlers (the distributed worker) can add their own series
+// to the same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// instrument wraps an endpoint handler with its per-endpoint request
+// counter and latency histogram. The instruments are resolved once at
+// registration; the per-request cost is one clock pair and two atomic
+// updates.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter(
+		fmt.Sprintf("repro_server_requests_total{endpoint=%q}", endpoint),
+		"HTTP requests served, by endpoint.")
+	lat := s.reg.Histogram(
+		fmt.Sprintf("repro_server_request_seconds{endpoint=%q}", endpoint),
+		"HTTP request latency in seconds, by endpoint.",
+		obs.DurationBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		lat.Observe(time.Since(start).Seconds())
+		reqs.Inc()
+	}
+}
+
+// registerCacheGauges exposes the serving caches' accounting as
+// scrape-time gauges on the instance registry — the same numbers
+// /api/v1/status reports, in Prometheus form.
+func (s *Server) registerCacheGauges() {
+	respStat := func(pick func(ResponseCacheStats) float64) func() float64 {
+		return func() float64 { return pick(s.Status().ResponseCache) }
+	}
+	s.reg.GaugeFunc("repro_server_response_cache_hits",
+		"Response-cache hits (lifetime).", respStat(func(c ResponseCacheStats) float64 { return float64(c.Hits) }))
+	s.reg.GaugeFunc("repro_server_response_cache_misses",
+		"Response-cache misses (lifetime).", respStat(func(c ResponseCacheStats) float64 { return float64(c.Misses) }))
+	s.reg.GaugeFunc("repro_server_response_cache_entries",
+		"Response-cache entries resident.", respStat(func(c ResponseCacheStats) float64 { return float64(c.Entries) }))
+	s.reg.GaugeFunc("repro_server_response_cache_bytes",
+		"Response-cache resident bytes.", respStat(func(c ResponseCacheStats) float64 { return float64(c.Bytes) }))
+	s.reg.GaugeFunc("repro_server_sweep_cache_hits",
+		"Sweep-cache hits (lifetime).", func() float64 { return float64(s.sweepCache.Counters().Hits) })
+	s.reg.GaugeFunc("repro_server_sweep_cache_misses",
+		"Sweep-cache misses (lifetime).", func() float64 { return float64(s.sweepCache.Counters().Misses) })
+	s.reg.GaugeFunc("repro_server_sweep_cache_entries",
+		"Sweep-cache entries resident.", func() float64 { return float64(s.sweepCache.Counters().Entries) })
+	s.reg.GaugeFunc("repro_server_sweep_cache_hit_rate",
+		"Sweep-cache hit rate (lifetime).", func() float64 { return s.sweepCache.Counters().HitRate() })
+	s.reg.GaugeFunc("repro_server_scenario_cache_hits",
+		"Scenario resolution cache hits (lifetime).", func() float64 {
+			h, _, _ := s.lib.scenarios().ResolveCacheStats()
+			return float64(h)
+		})
+	s.reg.GaugeFunc("repro_server_scenario_cache_misses",
+		"Scenario resolution cache misses (lifetime).", func() float64 {
+			_, m, _ := s.lib.scenarios().ResolveCacheStats()
+			return float64(m)
+		})
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's
+// instance registry followed by the process-wide hot-path series
+// (kernel, sweep, valency, convergence — absent under REPRO_OBS=off).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteAllPrometheus(w, s.reg, obs.Default())
 }
 
 // ServeHTTP implements http.Handler.

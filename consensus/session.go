@@ -558,6 +558,7 @@ type Snapshot struct {
 // (yielding the context error) or when the consumer breaks.
 func (s *Session) Rounds(ctx context.Context) iter.Seq2[Snapshot, error] {
 	return func(yield func(Snapshot, error) bool) {
+		yield = observeContraction(yield)
 		src, decs, err := s.newSource()
 		if err != nil {
 			yield(Snapshot{}, err)

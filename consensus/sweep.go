@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/consensus/scenario"
 	"repro/internal/core"
@@ -617,6 +618,7 @@ func Sweep(ctx context.Context, specs []RunSpec, opts ...SweepOption) ([]SweepRe
 	for i := range tasks {
 		results[i] = tasks[i].res
 	}
+	observeSweepOutcome(results)
 	return results, ctx.Err()
 }
 
@@ -861,12 +863,17 @@ func runSweepTile(ctx context.Context, tile []*sweepTask, cfg *sweepConfig) {
 		inputs[i] = t.session.inputs
 	}
 	br := core.NewBatchRunner(d, inputs)
+	tileStart := time.Now()
 	defer func() {
 		h, m, e, df, _ := br.PlanCacheStats()
 		planCacheTotals.hits.Add(h)
 		planCacheTotals.misses.Add(m)
 		planCacheTotals.evictions.Add(e)
 		planCacheTotals.deferrals.Add(df)
+		if sweepObs != nil {
+			sweepObs.tiles.Inc()
+			sweepObs.tileSeconds.Observe(time.Since(tileStart).Seconds())
+		}
 	}()
 	// Intra-tile parallelism: the sweep-resolved count, raised by any
 	// session in the tile that pinned a higher one via

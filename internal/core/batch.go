@@ -511,11 +511,14 @@ type BatchRunner struct {
 	// Intra-step parallelism (parallel.go): par is the configured worker
 	// count (0 = inherit the process default), segOK whether the stepper
 	// may be fold-sharded, job the pooled per-round task list, and arena
-	// the coordinator's own executor scratch.
-	par   int
-	segOK bool
-	job   stepJob
-	arena stepArena
+	// the coordinator's own executor scratch. lastShards is the task
+	// count of the most recent parallel round, sampled by the obs
+	// wrappers (obs.go); sequential rounds leave it at the wrapper's 0.
+	par        int
+	segOK      bool
+	job        stepJob
+	arena      stepArena
+	lastShards int
 }
 
 // NewBatchRunner builds a runner from per-run raw inputs (inputs[r] is
@@ -906,9 +909,10 @@ func (r *BatchRunner) StepWithHulls(g graph.Graph, lo, hi []float64) {
 	r.hull.want, r.hull.lo, r.hull.hi = false, nil, nil
 }
 
-// step applies one shared-graph round and reports whether the stepper
-// delivered the requested hulls.
-func (r *BatchRunner) step(g graph.Graph) (hullDone bool) {
+// stepRaw applies one shared-graph round and reports whether the
+// stepper delivered the requested hulls. The step wrapper (obs.go)
+// samples kernel metrics around it.
+func (r *BatchRunner) stepRaw(g graph.Graph) (hullDone bool) {
 	r.prep(g.N())
 	par := r.Parallelism()
 	switch {
@@ -987,10 +991,11 @@ func (r *BatchRunner) StepEachWithHulls(gs []graph.Graph, lo, hi []float64) {
 	r.hull.want, r.hull.lo, r.hull.hi = false, nil, nil
 }
 
-// stepEach clusters the round's runs by graph identity and steps every
-// cluster through its shared plan. It reports whether hulls were
-// delivered for every run.
-func (r *BatchRunner) stepEach(gs []graph.Graph) (hullDone bool) {
+// stepEachRaw clusters the round's runs by graph identity and steps
+// every cluster through its shared plan. It reports whether hulls were
+// delivered for every run. The stepEach wrapper (obs.go) samples
+// kernel metrics around it.
+func (r *BatchRunner) stepEachRaw(gs []graph.Graph) (hullDone bool) {
 	if len(gs) != r.cur.b {
 		panic(fmt.Sprintf("core: %d graphs for a batch of %d runs", len(gs), r.cur.b))
 	}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// This file wires the batch kernel into the obs metrics plane under a
+// strict sampling contract: all instrumentation happens once per
+// Step/StepEach round on the coordinating goroutine — never per run,
+// never per fold — so the cost is one time.Now pair plus a handful of
+// atomic adds against a round that steps B runs. Plan-cache series are
+// flushed as deltas of the runner's plain (coordinator-owned) counters
+// around the round, which keeps the hot cache paths untouched.
+//
+// With REPRO_OBS=off (or SetObsRegistry(nil)) the kernel holds a nil
+// metrics bundle and every round skips straight to the raw step —
+// there is no clock read and no atomic traffic at all.
+
+// kernelMetrics bundles the kernel's process-wide instruments. One
+// bundle per registry; resolved once in SetObsRegistry so rounds pay a
+// single atomic pointer load.
+type kernelMetrics struct {
+	stepRounds     *obs.Counter
+	stepEachRounds *obs.Counter
+	roundSeconds   *obs.Histogram
+	shardTasks     *obs.Counter
+	planHits       *obs.Counter
+	planMisses     *obs.Counter
+	planEvicts     *obs.Counter
+	planDefers     *obs.Counter
+}
+
+var kernelObs atomic.Pointer[kernelMetrics]
+
+func init() { SetObsRegistry(obs.Default()) }
+
+// SetObsRegistry (re)binds the kernel's metrics to a registry — nil
+// disables kernel instrumentation entirely. The process default is
+// obs.Default(); tests bind private registries to isolate counts, and
+// paperbench toggles nil/fresh to measure instrumentation overhead.
+// Not safe to call while another goroutine is mid-step.
+func SetObsRegistry(r *obs.Registry) {
+	if r == nil {
+		kernelObs.Store(nil)
+		return
+	}
+	kernelObs.Store(&kernelMetrics{
+		stepRounds: r.Counter("repro_kernel_step_rounds_total",
+			"Shared-graph batch rounds stepped (Step/StepWithHulls)."),
+		stepEachRounds: r.Counter("repro_kernel_stepeach_rounds_total",
+			"Per-run-graph clustered batch rounds stepped (StepEach/StepEachWithHulls)."),
+		roundSeconds: r.Histogram("repro_kernel_stepeach_round_seconds",
+			"Wall time of one clustered StepEach round across the whole batch.",
+			obs.DurationBuckets()),
+		shardTasks: r.Counter("repro_kernel_step_shards_total",
+			"Worker-pool tasks executed by parallel rounds (0 for sequential rounds)."),
+		planHits: r.Counter("repro_kernel_plan_cache_hits_total",
+			"Step-plan cache hits (identity memo and key lookups)."),
+		planMisses: r.Counter("repro_kernel_plan_cache_misses_total",
+			"Step-plan cache misses (plans built)."),
+		planEvicts: r.Counter("repro_kernel_plan_cache_evictions_total",
+			"Step plans evicted FIFO past the cache cap."),
+		planDefers: r.Counter("repro_kernel_plan_cache_deferrals_total",
+			"First-sight single-run graphs stepped without building a plan."),
+	})
+}
+
+// step applies one shared-graph round, sampling kernel metrics around
+// the raw step when instrumentation is bound.
+func (r *BatchRunner) step(g graph.Graph) (hullDone bool) {
+	m := kernelObs.Load()
+	if m == nil {
+		return r.stepRaw(g)
+	}
+	h0, mi0, e0, d0 := r.planHits, r.planMisses, r.planEvicts, r.planDefers
+	r.lastShards = 0
+	hullDone = r.stepRaw(g)
+	m.stepRounds.Inc()
+	r.flushPlanDeltas(m, h0, mi0, e0, d0)
+	return hullDone
+}
+
+// stepEach applies one clustered per-run-graph round, sampling kernel
+// metrics (including the round latency histogram) around the raw step
+// when instrumentation is bound.
+func (r *BatchRunner) stepEach(gs []graph.Graph) (hullDone bool) {
+	m := kernelObs.Load()
+	if m == nil {
+		return r.stepEachRaw(gs)
+	}
+	h0, mi0, e0, d0 := r.planHits, r.planMisses, r.planEvicts, r.planDefers
+	r.lastShards = 0
+	start := time.Now()
+	hullDone = r.stepEachRaw(gs)
+	m.roundSeconds.Observe(time.Since(start).Seconds())
+	m.stepEachRounds.Inc()
+	r.flushPlanDeltas(m, h0, mi0, e0, d0)
+	return hullDone
+}
+
+// flushPlanDeltas adds the round's plan-cache counter movement and
+// worker-shard count to the bound instruments. The runner's plain
+// counters are coordinator-owned, so the deltas are exact; since
+// clustering and admission are identical at every parallelism level
+// (the determinism contract in parallel.go), the flushed plan series
+// are parallelism-invariant too.
+func (r *BatchRunner) flushPlanDeltas(m *kernelMetrics, h0, mi0, e0, d0 uint64) {
+	m.shardTasks.Add(uint64(r.lastShards))
+	m.planHits.Add(r.planHits - h0)
+	m.planMisses.Add(r.planMisses - mi0)
+	m.planEvicts.Add(r.planEvicts - e0)
+	m.planDefers.Add(r.planDefers - d0)
+}
